@@ -1,0 +1,516 @@
+//! The disaggregated heap: size-class pages, large runs, liveness queries.
+//!
+//! [`Heap`] hands out virtual addresses inside a fixed DDC region (the range
+//! `ddc_malloc` serves). It keeps one [`PageBitmap`] per small-object page;
+//! [`Heap::live_segments`] is the allocator-semantics query guided paging
+//! (§4.4) performs when evicting or fetching a page: "the guide identifies
+//! and returns which chunks in a page are currently used by reading the
+//! allocator's memory layout".
+
+use std::collections::HashMap;
+
+use crate::bitmap::PageBitmap;
+use crate::size_class::{size_class_of, SizeClass, SIZE_CLASSES};
+use crate::PAGE_SIZE;
+
+/// Allocation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Zero-byte allocations are rejected.
+    ZeroSize,
+    /// The heap has no room for the request.
+    OutOfMemory,
+    /// `free` was called on an address that is not a live allocation start.
+    InvalidFree,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::ZeroSize => write!(f, "zero-size allocation"),
+            AllocError::OutOfMemory => write!(f, "heap exhausted"),
+            AllocError::InvalidFree => write!(f, "free of a non-allocated address"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Debug)]
+enum PageState {
+    Free,
+    Small {
+        class: SizeClass,
+        bitmap: PageBitmap,
+    },
+    LargeHead {
+        pages: usize,
+        len: usize,
+    },
+    LargeBody,
+}
+
+/// What is live within one heap page, as byte ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageLiveness {
+    /// The page holds no live data (nothing to transfer).
+    Empty,
+    /// The whole page is live (fall back to a full-page transfer).
+    Full,
+    /// Only these `(offset, len)` ranges are live.
+    Partial(Vec<(usize, usize)>),
+}
+
+/// Heap occupancy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Bytes currently handed out (rounded to block sizes).
+    pub live_bytes: u64,
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Pages currently in use (small or large).
+    pub used_pages: usize,
+}
+
+/// A size-class-segregated heap over a virtual-address region.
+#[derive(Debug)]
+pub struct Heap {
+    base: u64,
+    npages: usize,
+    pages: Vec<PageState>,
+    /// Partially-filled pages per size class (may contain stale entries;
+    /// validated on pop — mimalloc's lazy page-queue maintenance).
+    class_pages: Vec<Vec<usize>>,
+    /// Next-fit cursor for fresh-page claims.
+    cursor: usize,
+    free_count: usize,
+    large_lens: HashMap<u64, usize>,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates a heap managing `capacity` bytes of virtual space at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base` and `capacity` are page-aligned and the capacity
+    /// is non-zero.
+    pub fn new(base: u64, capacity: u64) -> Self {
+        assert_eq!(base % PAGE_SIZE as u64, 0, "base must be page-aligned");
+        assert_eq!(
+            capacity % PAGE_SIZE as u64,
+            0,
+            "capacity must be page-aligned"
+        );
+        assert!(capacity > 0, "capacity must be non-zero");
+        let npages = (capacity / PAGE_SIZE as u64) as usize;
+        Self {
+            base,
+            npages,
+            pages: (0..npages).map(|_| PageState::Free).collect(),
+            class_pages: vec![Vec::new(); SIZE_CLASSES.len()],
+            cursor: 0,
+            free_count: npages,
+            large_lens: HashMap::new(),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The base virtual address of the managed region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The managed capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.npages as u64 * PAGE_SIZE as u64
+    }
+
+    /// Current occupancy statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    fn page_va(&self, idx: usize) -> u64 {
+        self.base + (idx * PAGE_SIZE) as u64
+    }
+
+    fn page_idx(&self, va: u64) -> Option<usize> {
+        if va < self.base {
+            return None;
+        }
+        let idx = ((va - self.base) / PAGE_SIZE as u64) as usize;
+        (idx < self.npages).then_some(idx)
+    }
+
+    fn claim_free_page(&mut self) -> Option<usize> {
+        if self.free_count == 0 {
+            return None;
+        }
+        // First-fit keeps the heap compact, which maximizes block reuse of
+        // low pages — the behaviour the guided-paging eval relies on.
+        for idx in 0..self.npages {
+            if matches!(self.pages[idx], PageState::Free) {
+                self.free_count -= 1;
+                self.stats.used_pages += 1;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn release_page(&mut self, idx: usize) {
+        self.pages[idx] = PageState::Free;
+        self.free_count += 1;
+        self.stats.used_pages -= 1;
+    }
+
+    /// Allocates `size` bytes and returns the virtual address.
+    pub fn malloc(&mut self, size: usize) -> Result<u64, AllocError> {
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        match size_class_of(size) {
+            Some(class) => self.malloc_small(class),
+            None => self.malloc_large(size),
+        }
+    }
+
+    fn malloc_small(&mut self, class: SizeClass) -> Result<u64, AllocError> {
+        let ci = class.index();
+        // Pop stale (full or recycled) entries until a usable page surfaces.
+        let page_idx = loop {
+            match self.class_pages[ci].last().copied() {
+                Some(idx) => match &self.pages[idx] {
+                    PageState::Small { class: c, bitmap } if *c == class && !bitmap.is_full() => {
+                        break Some(idx)
+                    }
+                    _ => {
+                        self.class_pages[ci].pop();
+                    }
+                },
+                None => break None,
+            }
+        };
+        let idx = match page_idx {
+            Some(idx) => idx,
+            None => {
+                let idx = self.claim_free_page().ok_or(AllocError::OutOfMemory)?;
+                self.pages[idx] = PageState::Small {
+                    class,
+                    bitmap: PageBitmap::new(class.blocks_per_page()),
+                };
+                self.class_pages[ci].push(idx);
+                idx
+            }
+        };
+        let PageState::Small { bitmap, .. } = &mut self.pages[idx] else {
+            unreachable!("selected page is a small page");
+        };
+        let block = bitmap.first_free().expect("page was not full");
+        bitmap.set(block);
+        if bitmap.is_full() {
+            // Leave it in the queue; it is validated away on the next pop.
+            self.class_pages[ci].retain(|&p| p != idx);
+        }
+        self.stats.allocs += 1;
+        self.stats.live_bytes += class.block_size() as u64;
+        Ok(self.page_va(idx) + (block * class.block_size()) as u64)
+    }
+
+    fn malloc_large(&mut self, size: usize) -> Result<u64, AllocError> {
+        let need = size.div_ceil(PAGE_SIZE);
+        if need > self.free_count {
+            return Err(AllocError::OutOfMemory);
+        }
+        // Linear scan for a contiguous free run (heaps here are small enough
+        // that first-fit is fine; runs never wrap).
+        let mut run_start = 0usize;
+        let mut run = 0usize;
+        for idx in 0..self.npages {
+            if matches!(self.pages[idx], PageState::Free) {
+                if run == 0 {
+                    run_start = idx;
+                }
+                run += 1;
+                if run == need {
+                    for i in run_start..run_start + need {
+                        self.pages[i] = PageState::LargeBody;
+                        self.free_count -= 1;
+                        self.stats.used_pages += 1;
+                    }
+                    self.pages[run_start] = PageState::LargeHead {
+                        pages: need,
+                        len: size,
+                    };
+                    self.cursor = (run_start + need) % self.npages;
+                    let va = self.page_va(run_start);
+                    self.large_lens.insert(va, size);
+                    self.stats.allocs += 1;
+                    self.stats.live_bytes += (need * PAGE_SIZE) as u64;
+                    return Ok(va);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        Err(AllocError::OutOfMemory)
+    }
+
+    /// Frees the allocation starting at `va`.
+    pub fn free(&mut self, va: u64) -> Result<(), AllocError> {
+        let idx = self.page_idx(va).ok_or(AllocError::InvalidFree)?;
+        let page_va = self.page_va(idx);
+        match &mut self.pages[idx] {
+            PageState::Small { class, bitmap } => {
+                let class = *class;
+                let off = (va - page_va) as usize;
+                if !off.is_multiple_of(class.block_size()) {
+                    return Err(AllocError::InvalidFree);
+                }
+                let block = off / class.block_size();
+                if block >= bitmap.blocks() || !bitmap.clear(block) {
+                    return Err(AllocError::InvalidFree);
+                }
+                self.stats.frees += 1;
+                self.stats.live_bytes -= class.block_size() as u64;
+                if bitmap.is_empty() {
+                    self.class_pages[class.index()].retain(|&p| p != idx);
+                    self.release_page(idx);
+                } else if !bitmap.is_full() && !self.class_pages[class.index()].contains(&idx) {
+                    self.class_pages[class.index()].push(idx);
+                }
+                Ok(())
+            }
+            PageState::LargeHead { pages, .. } => {
+                if va != page_va {
+                    return Err(AllocError::InvalidFree);
+                }
+                let pages = *pages;
+                for i in idx..idx + pages {
+                    self.release_page(i);
+                }
+                self.large_lens.remove(&va);
+                self.stats.frees += 1;
+                self.stats.live_bytes -= (pages * PAGE_SIZE) as u64;
+                Ok(())
+            }
+            _ => Err(AllocError::InvalidFree),
+        }
+    }
+
+    /// Returns the usable size of the live allocation at `va`, if any.
+    pub fn alloc_size(&self, va: u64) -> Option<usize> {
+        let idx = self.page_idx(va)?;
+        match &self.pages[idx] {
+            PageState::Small { class, bitmap } => {
+                let off = (va - self.page_va(idx)) as usize;
+                if !off.is_multiple_of(class.block_size()) {
+                    return None;
+                }
+                let block = off / class.block_size();
+                (block < bitmap.blocks() && bitmap.is_set(block)).then(|| class.block_size())
+            }
+            PageState::LargeHead { len, .. } => (va == self.page_va(idx)).then_some(*len),
+            _ => None,
+        }
+    }
+
+    /// Reports what is live within the page containing `page_va`.
+    ///
+    /// This is the allocator-semantics query the paging guide performs.
+    /// `max_segments` caps the vector length (the paper's guide uses three —
+    /// vectored RDMA slows down beyond that, §6.3); extra runs are coalesced
+    /// by absorbing the smallest gaps, so the result always *covers* every
+    /// live byte.
+    pub fn live_segments(&self, page_va: u64, max_segments: usize) -> PageLiveness {
+        let Some(idx) = self.page_idx(page_va) else {
+            return PageLiveness::Full;
+        };
+        match &self.pages[idx] {
+            PageState::Free => PageLiveness::Empty,
+            PageState::LargeHead { .. } | PageState::LargeBody => PageLiveness::Full,
+            PageState::Small { class, bitmap } => {
+                if bitmap.is_empty() {
+                    return PageLiveness::Empty;
+                }
+                if bitmap.is_full() {
+                    return PageLiveness::Full;
+                }
+                let bs = class.block_size();
+                let mut runs: Vec<(usize, usize)> =
+                    bitmap.live_runs().map(|(b, n)| (b * bs, n * bs)).collect();
+                coalesce_to(&mut runs, max_segments.max(1));
+                if runs.len() == 1 && runs[0] == (0, PAGE_SIZE) {
+                    PageLiveness::Full
+                } else {
+                    PageLiveness::Partial(runs)
+                }
+            }
+        }
+    }
+}
+
+/// Coalesces `(offset, len)` runs to at most `k` by merging across the
+/// smallest inter-run gaps.
+fn coalesce_to(runs: &mut Vec<(usize, usize)>, k: usize) {
+    while runs.len() > k {
+        // Find the smallest gap between consecutive runs.
+        let mut best = 0;
+        let mut best_gap = usize::MAX;
+        for i in 0..runs.len() - 1 {
+            let gap = runs[i + 1].0 - (runs[i].0 + runs[i].1);
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        let (o2, l2) = runs.remove(best + 1);
+        let r = &mut runs[best];
+        r.1 = (o2 + l2) - r.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(0x1000_0000, 1 << 20) // 256 pages.
+    }
+
+    #[test]
+    fn small_allocations_pack_into_one_page() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        assert_eq!(b - a, 64, "blocks are adjacent");
+        assert_eq!(a / PAGE_SIZE as u64, b / PAGE_SIZE as u64);
+        assert_eq!(h.stats().used_pages, 1);
+    }
+
+    #[test]
+    fn different_classes_use_different_pages() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(200).unwrap();
+        assert_ne!(a / PAGE_SIZE as u64, b / PAGE_SIZE as u64);
+        assert_eq!(h.alloc_size(a), Some(64));
+        assert_eq!(h.alloc_size(b), Some(224));
+    }
+
+    #[test]
+    fn free_recycles_blocks_and_pages() {
+        let mut h = heap();
+        let a = h.malloc(128).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.stats().used_pages, 0);
+        let b = h.malloc(128).unwrap();
+        assert_eq!(a, b, "freed block is reused");
+    }
+
+    #[test]
+    fn large_allocations_take_page_runs() {
+        let mut h = heap();
+        let a = h.malloc(3 * PAGE_SIZE + 1).unwrap();
+        assert_eq!(a % PAGE_SIZE as u64, 0);
+        assert_eq!(h.stats().used_pages, 4);
+        assert_eq!(h.alloc_size(a), Some(3 * PAGE_SIZE + 1));
+        h.free(a).unwrap();
+        assert_eq!(h.stats().used_pages, 0);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut h = Heap::new(0, 2 * PAGE_SIZE as u64);
+        assert!(h.malloc(3 * PAGE_SIZE).is_err());
+        h.malloc(PAGE_SIZE + 1).unwrap();
+        assert_eq!(h.malloc(PAGE_SIZE + 1), Err(AllocError::OutOfMemory));
+        // Small allocations can still be served from... nothing: both pages
+        // are taken by the large run.
+        assert_eq!(h.malloc(8), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn invalid_frees_are_rejected() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        assert_eq!(h.free(a + 1), Err(AllocError::InvalidFree));
+        assert_eq!(h.free(a + 64), Err(AllocError::InvalidFree));
+        assert_eq!(h.free(0), Err(AllocError::InvalidFree));
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(AllocError::InvalidFree), "double free");
+    }
+
+    #[test]
+    fn live_segments_reflect_the_bitmap() {
+        let mut h = heap();
+        // Fill a 512-byte-class page (8 blocks), then free the middle.
+        let vas: Vec<u64> = (0..8).map(|_| h.malloc(512).unwrap()).collect();
+        let page = vas[0] & !(PAGE_SIZE as u64 - 1);
+        assert_eq!(h.live_segments(page, 3), PageLiveness::Full);
+        for &v in &vas[2..6] {
+            h.free(v).unwrap();
+        }
+        match h.live_segments(page, 3) {
+            PageLiveness::Partial(segs) => {
+                assert_eq!(segs, vec![(0, 1024), (3072, 1024)]);
+            }
+            other => panic!("expected partial liveness, got {other:?}"),
+        }
+        for &v in vas[..2].iter().chain(&vas[6..]) {
+            h.free(v).unwrap();
+        }
+        assert_eq!(h.live_segments(page, 3), PageLiveness::Empty);
+    }
+
+    #[test]
+    fn live_segments_coalesce_to_cap_and_still_cover() {
+        let mut h = heap();
+        let vas: Vec<u64> = (0..64).map(|_| h.malloc(64).unwrap()).collect();
+        let page = vas[0] & !(PAGE_SIZE as u64 - 1);
+        // Free every other block: 32 runs of one block each.
+        for v in vas.iter().skip(1).step_by(2) {
+            h.free(*v).unwrap();
+        }
+        let PageLiveness::Partial(segs) = h.live_segments(page, 3) else {
+            panic!("expected partial");
+        };
+        assert!(segs.len() <= 3);
+        // Every live block must be covered by some segment.
+        for (i, v) in vas.iter().enumerate().step_by(2) {
+            let off = (*v - page) as usize;
+            assert!(
+                segs.iter().any(|&(o, l)| off >= o && off + 64 <= o + l),
+                "block {i} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn large_pages_report_full_liveness() {
+        let mut h = heap();
+        let a = h.malloc(2 * PAGE_SIZE).unwrap();
+        assert_eq!(h.live_segments(a, 3), PageLiveness::Full);
+        assert_eq!(h.live_segments(a + PAGE_SIZE as u64, 3), PageLiveness::Full);
+    }
+
+    #[test]
+    fn stats_balance() {
+        let mut h = heap();
+        let mut vas = Vec::new();
+        for i in 1..100 {
+            vas.push(h.malloc(i * 7 % 1500 + 1).unwrap());
+        }
+        for va in vas {
+            h.free(va).unwrap();
+        }
+        let s = h.stats();
+        assert_eq!(s.allocs, 99);
+        assert_eq!(s.frees, 99);
+        assert_eq!(s.live_bytes, 0);
+        assert_eq!(s.used_pages, 0);
+    }
+}

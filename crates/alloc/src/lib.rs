@@ -1,0 +1,31 @@
+//! A mimalloc-flavoured user-level allocator with per-page liveness bitmaps.
+//!
+//! §5 of the DiLOS paper: "The app-aware allocator guide of DiLOS is based on
+//! Microsoft's mimalloc … DiLOS' allocator tracks subpage usages via
+//! bitmaps", and §6.3: "The original mimalloc uses a list to track freed
+//! chunks. We modify the mimalloc code to use bitmaps to track freed chunks."
+//!
+//! This crate reimplements that allocator design from scratch:
+//!
+//! - size-class-segregated allocation (mimalloc-style class spacing),
+//! - each 4 KiB heap page serves blocks of exactly one size class,
+//! - a **per-page allocation bitmap** records which blocks are live,
+//! - large allocations take contiguous page runs,
+//! - [`Heap::live_segments`] coalesces the bitmap into at most `max_segments`
+//!   covering ranges — the scatter/gather vectors guided paging (§4.4) posts
+//!   instead of whole-page transfers.
+//!
+//! The allocator manages *virtual addresses* in a disaggregated heap; it
+//! never touches the bytes itself, so the same instance can serve a DiLOS
+//! node, the Redis workload, and the paging guide simultaneously.
+
+mod bitmap;
+mod heap;
+mod size_class;
+
+pub use bitmap::PageBitmap;
+pub use heap::{AllocError, Heap, HeapStats, PageLiveness};
+pub use size_class::{size_class_of, SizeClass, SIZE_CLASSES};
+
+/// The heap page size (matches the OS/DiLOS page size).
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,279 @@
+//! A columnar DataFrame engine and the NYC-taxi analytics workload
+//! (Figure 8).
+//!
+//! The paper runs the C++ `DataFrame` library on AIFM's New York City taxi
+//! trip dataset (~40 GB working set). This module implements a columnar
+//! table over far memory and the same style of analysis the AIFM/DiLOS
+//! evaluation performs: scans, derived columns (haversine distance),
+//! group-bys, and a sort — plus a schema-faithful synthetic taxi-trip
+//! generator, since the Kaggle dataset is not redistributable here.
+
+use crate::farmem::{FarArray, FarMemory};
+use dilos_sim::SplitMix64;
+
+/// Per-row compute charge for arithmetic kernels (ns).
+const ROW_NS: u64 = 3;
+
+/// The synthetic taxi table: one far-memory column per field.
+#[derive(Debug, Clone, Copy)]
+pub struct TaxiTable {
+    /// Pickup timestamp (seconds since epoch).
+    pub pickup_ts: FarArray,
+    /// Dropoff timestamp.
+    pub dropoff_ts: FarArray,
+    /// Passenger count.
+    pub passengers: FarArray,
+    /// Trip distance in miles (f64).
+    pub distance: FarArray,
+    /// Pickup longitude/latitude (f64).
+    pub pickup_lon: FarArray,
+    /// Pickup latitude.
+    pub pickup_lat: FarArray,
+    /// Dropoff longitude.
+    pub dropoff_lon: FarArray,
+    /// Dropoff latitude.
+    pub dropoff_lat: FarArray,
+    /// Rows.
+    pub rows: usize,
+}
+
+/// The taxi analytics workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TaxiWorkload {
+    /// Number of trips.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of the full analysis pass (used to verify system-independence).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaxiAnalysis {
+    /// Trips with more than one passenger.
+    pub multi_passenger_trips: u64,
+    /// Average haversine distance (miles).
+    pub avg_haversine: f64,
+    /// Average trip duration per weekday (seconds), index 0 = Monday.
+    pub avg_duration_by_weekday: [f64; 7],
+    /// The 90th-percentile trip duration (seconds).
+    pub p90_duration: u64,
+    /// Virtual elapsed time of the analysis.
+    pub elapsed: u64,
+}
+
+impl TaxiWorkload {
+    /// Generates the synthetic table (NYC-plausible coordinates and times).
+    pub fn populate(&self, mem: &mut dyn FarMemory) -> TaxiTable {
+        let t = TaxiTable {
+            pickup_ts: FarArray::new(mem, self.rows),
+            dropoff_ts: FarArray::new(mem, self.rows),
+            passengers: FarArray::new(mem, self.rows),
+            distance: FarArray::new(mem, self.rows),
+            pickup_lon: FarArray::new(mem, self.rows),
+            pickup_lat: FarArray::new(mem, self.rows),
+            dropoff_lon: FarArray::new(mem, self.rows),
+            dropoff_lat: FarArray::new(mem, self.rows),
+            rows: self.rows,
+        };
+        let mut rng = SplitMix64::new(self.seed);
+        let base_ts = 1_451_606_400u64; // 2016-01-01.
+        let chunk = 256usize;
+        let mut cols: [Vec<u64>; 8] = Default::default();
+        let mut i = 0usize;
+        while i < self.rows {
+            let n = chunk.min(self.rows - i);
+            for c in &mut cols {
+                c.clear();
+            }
+            for _ in 0..n {
+                let pickup = base_ts + rng.gen_range(365 * 86_400);
+                let duration = 120 + rng.gen_range(3_600);
+                let passengers = 1 + rng.gen_range(5);
+                let dist = 0.3 + rng.gen_f64() * 12.0;
+                let plon = -74.02 + rng.gen_f64() * 0.12;
+                let plat = 40.63 + rng.gen_f64() * 0.18;
+                let dlon = plon + (rng.gen_f64() - 0.5) * 0.1;
+                let dlat = plat + (rng.gen_f64() - 0.5) * 0.1;
+                cols[0].push(pickup);
+                cols[1].push(pickup + duration);
+                cols[2].push(passengers);
+                cols[3].push(dist.to_bits());
+                cols[4].push(plon.to_bits());
+                cols[5].push(plat.to_bits());
+                cols[6].push(dlon.to_bits());
+                cols[7].push(dlat.to_bits());
+            }
+            let arrays = [
+                t.pickup_ts,
+                t.dropoff_ts,
+                t.passengers,
+                t.distance,
+                t.pickup_lon,
+                t.pickup_lat,
+                t.dropoff_lon,
+                t.dropoff_lat,
+            ];
+            for (arr, col) in arrays.iter().zip(&cols) {
+                arr.write_range(mem, 0, i, col);
+            }
+            i += n;
+        }
+        t
+    }
+
+    /// Runs the full analysis: filter count, haversine column, group-by
+    /// weekday, and a duration percentile via sort.
+    pub fn analyze(&self, mem: &mut dyn FarMemory, t: &TaxiTable) -> TaxiAnalysis {
+        let t0 = mem.now(0);
+
+        // Q1: count trips with more than one passenger (columnar scan).
+        let mut multi = 0u64;
+        let mut buf = vec![0u64; 256];
+        let mut i = 0;
+        while i < t.rows {
+            let n = 256.min(t.rows - i);
+            t.passengers.read_range(mem, 0, i, &mut buf[..n]);
+            multi += buf[..n].iter().filter(|&&p| p > 1).count() as u64;
+            mem.compute(0, n as u64);
+            i += n;
+        }
+
+        // Q2: haversine distance as a derived column (reads four columns,
+        // writes one — the AIFM eval's compute kernel).
+        let hav = FarArray::new(mem, t.rows);
+        let mut sum_h = 0f64;
+        for i in 0..t.rows {
+            let plon = t.pickup_lon.get_f64(mem, 0, i);
+            let plat = t.pickup_lat.get_f64(mem, 0, i);
+            let dlon = t.dropoff_lon.get_f64(mem, 0, i);
+            let dlat = t.dropoff_lat.get_f64(mem, 0, i);
+            let h = haversine_miles(plat, plon, dlat, dlon);
+            hav.set_f64(mem, 0, i, h);
+            sum_h += h;
+            mem.compute(0, ROW_NS * 4);
+        }
+
+        // Q3: group trip duration by weekday.
+        let mut dur_sum = [0f64; 7];
+        let mut dur_cnt = [0u64; 7];
+        let mut pick = vec![0u64; 256];
+        let mut drop = vec![0u64; 256];
+        let mut i = 0;
+        while i < t.rows {
+            let n = 256.min(t.rows - i);
+            t.pickup_ts.read_range(mem, 0, i, &mut pick[..n]);
+            t.dropoff_ts.read_range(mem, 0, i, &mut drop[..n]);
+            for j in 0..n {
+                // 1970-01-01 was a Thursday; index 0 = Monday.
+                let wd = ((pick[j] / 86_400 + 3) % 7) as usize;
+                dur_sum[wd] += (drop[j] - pick[j]) as f64;
+                dur_cnt[wd] += 1;
+            }
+            mem.compute(0, n as u64 * 2);
+            i += n;
+        }
+        let mut avg_by_wd = [0f64; 7];
+        for d in 0..7 {
+            if dur_cnt[d] > 0 {
+                avg_by_wd[d] = dur_sum[d] / dur_cnt[d] as f64;
+            }
+        }
+
+        // Q4: p90 duration via sorting a derived duration column.
+        let dur = FarArray::new(mem, t.rows);
+        let mut i = 0;
+        while i < t.rows {
+            let n = 256.min(t.rows - i);
+            t.pickup_ts.read_range(mem, 0, i, &mut pick[..n]);
+            t.dropoff_ts.read_range(mem, 0, i, &mut drop[..n]);
+            let durations: Vec<u64> = (0..n).map(|j| drop[j] - pick[j]).collect();
+            dur.write_range(mem, 0, i, &durations);
+            i += n;
+        }
+        let sorter = crate::quicksort::QuicksortWorkload {
+            elements: t.rows,
+            seed: 0,
+        };
+        sorter.sort(mem, dur);
+        let p90 = dur.get(mem, 0, (t.rows as f64 * 0.9) as usize);
+
+        TaxiAnalysis {
+            multi_passenger_trips: multi,
+            avg_haversine: sum_h / t.rows as f64,
+            avg_duration_by_weekday: avg_by_wd,
+            p90_duration: p90,
+            elapsed: mem.now(0) - t0,
+        }
+    }
+
+    /// Total working-set bytes (9 columns of 8 bytes per row).
+    pub fn working_set(&self) -> u64 {
+        (self.rows * 8 * 10) as u64
+    }
+}
+
+/// Great-circle distance in miles.
+fn haversine_miles(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let r = 3_959.0;
+    let dlat = (lat2 - lat1).to_radians();
+    let dlon = (lon2 - lon1).to_radians();
+    let a = (dlat / 2.0).sin().powi(2)
+        + lat1.to_radians().cos() * lat2.to_radians().cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * r * a.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farmem::{SystemKind, SystemSpec};
+
+    #[test]
+    fn analysis_is_system_independent() {
+        let wl = TaxiWorkload {
+            rows: 3_000,
+            seed: 17,
+        };
+        let run = |kind| {
+            let mut mem = SystemSpec::for_working_set(kind, wl.working_set(), 25).boot();
+            let t = wl.populate(mem.as_mut());
+            let mut a = wl.analyze(mem.as_mut(), &t);
+            a.elapsed = 0; // Times differ; answers must not.
+            a
+        };
+        let dilos = run(SystemKind::DilosReadahead);
+        let fastswap = run(SystemKind::Fastswap);
+        let aifm = run(SystemKind::Aifm);
+        assert_eq!(dilos, fastswap);
+        assert_eq!(dilos, aifm);
+    }
+
+    #[test]
+    fn results_are_plausible() {
+        let wl = TaxiWorkload {
+            rows: 2_000,
+            seed: 4,
+        };
+        let mut mem =
+            SystemSpec::for_working_set(SystemKind::DilosReadahead, wl.working_set(), 100).boot();
+        let t = wl.populate(mem.as_mut());
+        let a = wl.analyze(mem.as_mut(), &t);
+        // ~4/5 of trips have >1 passenger under the uniform 1..=5 draw.
+        let frac = a.multi_passenger_trips as f64 / wl.rows as f64;
+        assert!((0.7..0.9).contains(&frac), "frac {frac}");
+        assert!(a.avg_haversine > 0.5 && a.avg_haversine < 20.0);
+        // Durations are 120..=3720 s.
+        assert!((120..=3_720).contains(&a.p90_duration));
+        for d in a.avg_duration_by_weekday {
+            assert!((120.0..=3_720.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // JFK to LaGuardia is roughly 10.5 miles.
+        let d = haversine_miles(40.6413, -73.7781, 40.7769, -73.8740);
+        assert!((9.0..12.0).contains(&d), "got {d}");
+        // Zero distance.
+        assert!(haversine_miles(40.0, -74.0, 40.0, -74.0) < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! `dilos-apps` — the DiLOS evaluation workloads, portable across systems.
+//!
+//! Every workload of §6 is implemented here against the [`farmem::FarMemory`]
+//! interface, so a single implementation runs unmodified on DiLOS, Fastswap,
+//! and AIFM — which is the paper's compatibility claim made executable:
+//!
+//! - [`seqrw`] — sequential read/write microbenchmark (Tables 1–3).
+//! - [`quicksort`] — in-place quicksort of a far-memory vector (Fig. 7a).
+//! - [`kmeans`] — Lloyd's k-means over far memory (Fig. 7b).
+//! - [`snappy`] — a from-scratch Snappy codec plus streaming far-memory
+//!   drivers (Fig. 7c/d).
+//! - [`dataframe`] — a columnar engine and the NYC-taxi analysis (Fig. 8).
+//! - [`gapbs`] — Kronecker graphs, PageRank, betweenness centrality
+//!   (Fig. 9).
+//! - [`redis`] — the in-memory KV store, its benchmark drivers, and the
+//!   app-aware guides (Figs. 10, 12, Table 4).
+
+pub mod dataframe;
+pub mod farmem;
+pub mod gapbs;
+pub mod kmeans;
+pub mod quicksort;
+pub mod redis;
+pub mod seqrw;
+pub mod snappy;
+
+pub use farmem::{FarArray, FarMemory, SystemKind, SystemSpec};

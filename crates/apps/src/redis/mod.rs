@@ -1,0 +1,22 @@
+//! A Redis-like in-memory key-value store over far memory (§6.2, §6.3).
+//!
+//! Implements the pieces of Redis the paper's evaluation exercises, with the
+//! same memory layouts (the layouts are what the app-aware guides exploit):
+//!
+//! - [`sds`] — Simple Dynamic Strings (length header + payload),
+//! - [`dict`] — the chained hash table with incremental rehash,
+//! - [`quicklist`] — lists as linked ziplists,
+//! - [`server`] — SET/GET/DEL/RPUSH/LRANGE command execution,
+//! - [`guide`] — the app-aware prefetch guide for GET and LRANGE,
+//! - `bench` (module) — the redis-benchmark-style workload drivers.
+
+pub mod bench;
+pub mod dict;
+pub mod guide;
+pub mod quicklist;
+pub mod sds;
+pub mod server;
+
+pub use bench::{BenchResult, LrangeBench, RedisBench, ValueSizes};
+pub use guide::{RedisGuide, RedisGuideStats};
+pub use server::RedisServer;

@@ -1,0 +1,337 @@
+//! Quicklist: Redis's list encoding — a linked list of ziplists — in far
+//! memory.
+//!
+//! "The LRANGE query uses a quicklist data structure, which stores strings
+//! in a linked list of ziplists" (§6.3). The traversal is the paper's
+//! pointer-chasing showcase (Figures 5 and 11): nodes live on different
+//! pages, each node points at a multi-page ziplist, and general-purpose
+//! prefetchers can't follow.
+//!
+//! Layouts (little-endian):
+//!
+//! ```text
+//! quicklist header (24 B): [head: u64][tail: u64][len: u64]
+//! node (32 B):             [next: u64][prev: u64][zl: u64][zl_bytes: u32][count: u32]
+//! ziplist (zl_cap B):      [used: u32][count: u32] then entries [len: u32][bytes…]
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::farmem::FarMemory;
+use dilos_alloc::Heap;
+
+/// Quicklist header size.
+pub const QL_HDR: usize = 24;
+/// Node struct size (what the guide subpage-fetches).
+pub const NODE_SIZE: usize = 32;
+/// Ziplist header size.
+pub const ZL_HDR: usize = 8;
+
+/// A decoded node struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// Next node address (0 = none).
+    pub next: u64,
+    /// Previous node address (0 = none).
+    pub prev: u64,
+    /// Ziplist buffer address.
+    pub zl: u64,
+    /// Ziplist capacity in bytes.
+    pub zl_bytes: u32,
+    /// Entries stored in this node's ziplist.
+    pub count: u32,
+}
+
+/// Reads a node struct.
+pub fn read_node(mem: &mut dyn FarMemory, core: usize, va: u64) -> Node {
+    let mut b = [0u8; NODE_SIZE];
+    mem.read(core, va, &mut b);
+    decode_node(&b)
+}
+
+/// Decodes a node struct from raw bytes (used by the prefetch guide on
+/// subpage payloads).
+pub fn decode_node(b: &[u8]) -> Node {
+    Node {
+        next: u64::from_le_bytes(b[0..8].try_into().expect("8")),
+        prev: u64::from_le_bytes(b[8..16].try_into().expect("8")),
+        zl: u64::from_le_bytes(b[16..24].try_into().expect("8")),
+        zl_bytes: u32::from_le_bytes(b[24..28].try_into().expect("4")),
+        count: u32::from_le_bytes(b[28..32].try_into().expect("4")),
+    }
+}
+
+fn write_node(mem: &mut dyn FarMemory, core: usize, va: u64, n: &Node) {
+    let mut b = [0u8; NODE_SIZE];
+    b[0..8].copy_from_slice(&n.next.to_le_bytes());
+    b[8..16].copy_from_slice(&n.prev.to_le_bytes());
+    b[16..24].copy_from_slice(&n.zl.to_le_bytes());
+    b[24..28].copy_from_slice(&n.zl_bytes.to_le_bytes());
+    b[28..32].copy_from_slice(&n.count.to_le_bytes());
+    mem.write(core, va, &b);
+}
+
+/// The far-memory quicklist.
+#[derive(Debug, Clone)]
+pub struct Quicklist {
+    /// The allocator the list's nodes and ziplists come from.
+    pub heap: Rc<RefCell<Heap>>,
+    /// Address of the 24-byte header.
+    pub header: u64,
+    /// Ziplist capacity per node (Redis's `list-max-ziplist-size` analogue;
+    /// the default 8 KiB makes ziplists span pages as in Figure 11).
+    pub zl_cap: u32,
+}
+
+impl Quicklist {
+    /// Creates an empty quicklist with `zl_cap`-byte ziplists.
+    pub fn new(heap: Rc<RefCell<Heap>>, mem: &mut dyn FarMemory, core: usize, zl_cap: u32) -> Self {
+        let header = heap
+            .borrow_mut()
+            .malloc(QL_HDR)
+            .expect("heap exhausted allocating quicklist header");
+        mem.write(core, header, &[0u8; QL_HDR]);
+        Self {
+            heap,
+            header,
+            zl_cap,
+        }
+    }
+
+    fn read_header(&self, mem: &mut dyn FarMemory, core: usize) -> (u64, u64, u64) {
+        let mut b = [0u8; QL_HDR];
+        mem.read(core, self.header, &mut b);
+        (
+            u64::from_le_bytes(b[0..8].try_into().expect("8")),
+            u64::from_le_bytes(b[8..16].try_into().expect("8")),
+            u64::from_le_bytes(b[16..24].try_into().expect("8")),
+        )
+    }
+
+    fn write_header(&self, mem: &mut dyn FarMemory, core: usize, head: u64, tail: u64, len: u64) {
+        let mut b = [0u8; QL_HDR];
+        b[0..8].copy_from_slice(&head.to_le_bytes());
+        b[8..16].copy_from_slice(&tail.to_le_bytes());
+        b[16..24].copy_from_slice(&len.to_le_bytes());
+        mem.write(core, self.header, &b);
+    }
+
+    /// The head node address (0 when empty) — what the LRANGE hook hands
+    /// the prefetch guide.
+    pub fn head(&self, mem: &mut dyn FarMemory, core: usize) -> u64 {
+        self.read_header(mem, core).0
+    }
+
+    /// Total elements.
+    pub fn len(&self, mem: &mut dyn FarMemory, core: usize) -> u64 {
+        self.read_header(mem, core).2
+    }
+
+    /// True when the list holds no elements.
+    pub fn is_empty(&self, mem: &mut dyn FarMemory, core: usize) -> bool {
+        self.len(mem, core) == 0
+    }
+
+    /// Appends `elem` at the tail (RPUSH).
+    pub fn rpush(&self, mem: &mut dyn FarMemory, core: usize, elem: &[u8]) {
+        let need = 4 + elem.len();
+        assert!(
+            need + ZL_HDR <= self.zl_cap as usize,
+            "element larger than a ziplist"
+        );
+        let (head, tail, len) = self.read_header(mem, core);
+        let mut target = 0u64;
+        if tail != 0 {
+            let node = read_node(mem, core, tail);
+            let used = mem.read_u32(core, node.zl) as usize;
+            if ZL_HDR + used + need <= node.zl_bytes as usize {
+                // Append into the tail ziplist.
+                let entry_at = node.zl + (ZL_HDR + used) as u64;
+                mem.write_u32(core, entry_at, elem.len() as u32);
+                mem.write(core, entry_at + 4, elem);
+                mem.write_u32(core, node.zl, (used + need) as u32);
+                let zl_count = mem.read_u32(core, node.zl + 4);
+                mem.write_u32(core, node.zl + 4, zl_count + 1);
+                write_node(
+                    mem,
+                    core,
+                    tail,
+                    &Node {
+                        count: node.count + 1,
+                        ..node
+                    },
+                );
+                self.write_header(mem, core, head, tail, len + 1);
+                return;
+            }
+            target = tail;
+        }
+        // New node + ziplist.
+        let zl = self
+            .heap
+            .borrow_mut()
+            .malloc(self.zl_cap as usize)
+            .expect("heap exhausted allocating ziplist");
+        mem.write_u32(core, zl, need as u32);
+        mem.write_u32(core, zl + 4, 1);
+        mem.write_u32(core, zl + ZL_HDR as u64, elem.len() as u32);
+        mem.write(core, zl + ZL_HDR as u64 + 4, elem);
+        let node_va = self
+            .heap
+            .borrow_mut()
+            .malloc(NODE_SIZE)
+            .expect("heap exhausted allocating quicklist node");
+        write_node(
+            mem,
+            core,
+            node_va,
+            &Node {
+                next: 0,
+                prev: target,
+                zl,
+                zl_bytes: self.zl_cap,
+                count: 1,
+            },
+        );
+        if target != 0 {
+            let t = read_node(mem, core, target);
+            write_node(mem, core, target, &Node { next: node_va, ..t });
+            self.write_header(mem, core, head, node_va, len + 1);
+        } else {
+            self.write_header(mem, core, node_va, node_va, len + 1);
+        }
+    }
+
+    /// Returns the first `count` elements (LRANGE 0 count-1).
+    pub fn lrange(&self, mem: &mut dyn FarMemory, core: usize, count: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(count);
+        let mut node_va = self.head(mem, core);
+        while node_va != 0 && out.len() < count {
+            let node = read_node(mem, core, node_va);
+            let mut off = ZL_HDR as u64;
+            for _ in 0..node.count {
+                if out.len() >= count {
+                    break;
+                }
+                let elen = mem.read_u32(core, node.zl + off) as usize;
+                let mut data = vec![0u8; elen];
+                mem.read(core, node.zl + off + 4, &mut data);
+                out.push(data);
+                off += 4 + elen as u64;
+            }
+            node_va = node.next;
+        }
+        out
+    }
+
+    /// Frees the whole list (nodes, ziplists, header).
+    pub fn destroy(&self, mem: &mut dyn FarMemory, core: usize) {
+        let mut node_va = self.head(mem, core);
+        while node_va != 0 {
+            let node = read_node(mem, core, node_va);
+            self.heap.borrow_mut().free(node.zl).expect("ziplist live");
+            self.heap.borrow_mut().free(node_va).expect("node live");
+            node_va = node.next;
+        }
+        self.heap
+            .borrow_mut()
+            .free(self.header)
+            .expect("header live");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farmem::{SystemKind, SystemSpec};
+
+    fn setup() -> (Box<dyn FarMemory>, Rc<RefCell<Heap>>) {
+        let mut mem = SystemSpec::for_working_set(SystemKind::DilosReadahead, 1 << 22, 100).boot();
+        let base = mem.alloc(1 << 22);
+        (mem, Rc::new(RefCell::new(Heap::new(base, 1 << 22))))
+    }
+
+    #[test]
+    fn rpush_lrange_roundtrip() {
+        let (mut mem, heap) = setup();
+        let ql = Quicklist::new(Rc::clone(&heap), mem.as_mut(), 0, 512);
+        for i in 0..50 {
+            ql.rpush(mem.as_mut(), 0, format!("element-{i:03}").as_bytes());
+        }
+        assert_eq!(ql.len(mem.as_mut(), 0), 50);
+        let got = ql.lrange(mem.as_mut(), 0, 10);
+        assert_eq!(got.len(), 10);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e, format!("element-{i:03}").as_bytes());
+        }
+        // Count past the end clamps.
+        assert_eq!(ql.lrange(mem.as_mut(), 0, 100).len(), 50);
+    }
+
+    #[test]
+    fn small_ziplists_force_multiple_nodes() {
+        let (mut mem, heap) = setup();
+        // 128-byte ziplists with ~16-byte entries: ~7 entries per node.
+        let ql = Quicklist::new(Rc::clone(&heap), mem.as_mut(), 0, 128);
+        for i in 0..40 {
+            ql.rpush(mem.as_mut(), 0, format!("e{i:010}").as_bytes());
+        }
+        // Walk the node chain and count.
+        let mut nodes = 0;
+        let mut elems = 0;
+        let mut va = ql.head(mem.as_mut(), 0);
+        while va != 0 {
+            let n = read_node(mem.as_mut(), 0, va);
+            nodes += 1;
+            elems += n.count;
+            va = n.next;
+        }
+        assert!(nodes >= 4, "expected several nodes, got {nodes}");
+        assert_eq!(elems, 40);
+        // Order is preserved across node boundaries.
+        let got = ql.lrange(mem.as_mut(), 0, 40);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(e, format!("e{i:010}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn destroy_releases_all_memory() {
+        let (mut mem, heap) = setup();
+        let before = heap.borrow().stats().live_bytes;
+        let ql = Quicklist::new(Rc::clone(&heap), mem.as_mut(), 0, 256);
+        for i in 0..30 {
+            ql.rpush(mem.as_mut(), 0, format!("x{i}").as_bytes());
+        }
+        assert!(heap.borrow().stats().live_bytes > before);
+        ql.destroy(mem.as_mut(), 0);
+        assert_eq!(heap.borrow().stats().live_bytes, before);
+    }
+
+    #[test]
+    fn node_codec_roundtrips() {
+        let n = Node {
+            next: 0xAA,
+            prev: 0xBB,
+            zl: 0xCC,
+            zl_bytes: 8_192,
+            count: 7,
+        };
+        let mut b = [0u8; NODE_SIZE];
+        b[0..8].copy_from_slice(&n.next.to_le_bytes());
+        b[8..16].copy_from_slice(&n.prev.to_le_bytes());
+        b[16..24].copy_from_slice(&n.zl.to_le_bytes());
+        b[24..28].copy_from_slice(&n.zl_bytes.to_le_bytes());
+        b[28..32].copy_from_slice(&n.count.to_le_bytes());
+        assert_eq!(decode_node(&b), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "element larger than a ziplist")]
+    fn oversized_elements_are_rejected() {
+        let (mut mem, heap) = setup();
+        let ql = Quicklist::new(Rc::clone(&heap), mem.as_mut(), 0, 64);
+        ql.rpush(mem.as_mut(), 0, &[0u8; 128]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Simple Dynamic Strings in far memory.
+//!
+//! Redis stores keys and string values as SDS: a small header carrying the
+//! length, followed by the bytes. The app-aware GET prefetcher (§6.3) leans
+//! on exactly this layout: "Redis's SDS consists of a header and data … the
+//! length information is helpful for the prefetcher to decide the number of
+//! pages to prefetch."
+//!
+//! Layout (va points at the header):
+//!
+//! ```text
+//! [len: u32 LE][alloc: u32 LE][data bytes …]
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::farmem::FarMemory;
+use dilos_alloc::Heap;
+
+/// Header size in bytes.
+pub const SDS_HDR: usize = 8;
+
+/// Allocates an SDS holding `data`; returns its address.
+///
+/// # Panics
+///
+/// Panics if the heap is exhausted (size the DDC region for the workload).
+pub fn sds_new(heap: &Rc<RefCell<Heap>>, mem: &mut dyn FarMemory, core: usize, data: &[u8]) -> u64 {
+    let total = SDS_HDR + data.len();
+    let va = heap
+        .borrow_mut()
+        .malloc(total)
+        .expect("heap exhausted: grow the DDC region");
+    let mut hdr = [0u8; SDS_HDR];
+    hdr[..4].copy_from_slice(&(data.len() as u32).to_le_bytes());
+    hdr[4..].copy_from_slice(&(total as u32).to_le_bytes());
+    mem.write(core, va, &hdr);
+    if !data.is_empty() {
+        mem.write(core, va + SDS_HDR as u64, data);
+    }
+    va
+}
+
+/// Reads an SDS's length without touching its payload.
+pub fn sds_len(mem: &mut dyn FarMemory, core: usize, va: u64) -> usize {
+    mem.read_u32(core, va) as usize
+}
+
+/// Reads an SDS's payload.
+pub fn sds_read(mem: &mut dyn FarMemory, core: usize, va: u64) -> Vec<u8> {
+    let len = sds_len(mem, core, va);
+    let mut data = vec![0u8; len];
+    if len > 0 {
+        mem.read(core, va + SDS_HDR as u64, &mut data);
+    }
+    data
+}
+
+/// Compares an SDS's payload against `expected` (short-circuits on length).
+pub fn sds_eq(mem: &mut dyn FarMemory, core: usize, va: u64, expected: &[u8]) -> bool {
+    if sds_len(mem, core, va) != expected.len() {
+        return false;
+    }
+    sds_read(mem, core, va) == expected
+}
+
+/// Frees an SDS.
+pub fn sds_free(heap: &Rc<RefCell<Heap>>, va: u64) {
+    heap.borrow_mut()
+        .free(va)
+        .expect("SDS address is a live allocation");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farmem::{SystemKind, SystemSpec};
+    use dilos_core::DDC_BASE;
+
+    fn setup() -> (Box<dyn FarMemory>, Rc<RefCell<Heap>>) {
+        let mut mem = SystemSpec::for_working_set(SystemKind::DilosReadahead, 1 << 20, 100).boot();
+        let base = mem.alloc(1 << 20);
+        assert_eq!(base, DDC_BASE);
+        (mem, Rc::new(RefCell::new(Heap::new(base, 1 << 20))))
+    }
+
+    #[test]
+    fn roundtrip_and_length() {
+        let (mut mem, heap) = setup();
+        let va = sds_new(&heap, mem.as_mut(), 0, b"hello far memory");
+        assert_eq!(sds_len(mem.as_mut(), 0, va), 16);
+        assert_eq!(sds_read(mem.as_mut(), 0, va), b"hello far memory");
+        assert!(sds_eq(mem.as_mut(), 0, va, b"hello far memory"));
+        assert!(!sds_eq(mem.as_mut(), 0, va, b"hello"));
+        assert!(!sds_eq(mem.as_mut(), 0, va, b"hello far memorY"));
+        sds_free(&heap, va);
+    }
+
+    #[test]
+    fn empty_string_works() {
+        let (mut mem, heap) = setup();
+        let va = sds_new(&heap, mem.as_mut(), 0, b"");
+        assert_eq!(sds_len(mem.as_mut(), 0, va), 0);
+        assert_eq!(sds_read(mem.as_mut(), 0, va), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn large_values_span_pages() {
+        let (mut mem, heap) = setup();
+        let data: Vec<u8> = (0..20_000).map(|i| (i % 253) as u8).collect();
+        let va = sds_new(&heap, mem.as_mut(), 0, &data);
+        assert_eq!(sds_read(mem.as_mut(), 0, va), data);
+    }
+}

@@ -1,0 +1,115 @@
+//! Sequential read/write microbenchmark (§6.1, Table 2 / Tables 1 & 3).
+//!
+//! "The workload first allocates and populates 20 GB of memory and then
+//! reads or writes the region with 4 KB strides." Sizes here are scaled;
+//! the benches report GB/s exactly as Table 2 does.
+
+use crate::farmem::FarMemory;
+use dilos_sim::Ns;
+
+/// Result of one sequential pass.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqResult {
+    /// Bytes covered by the pass (the populated region size).
+    pub bytes: u64,
+    /// Virtual time the pass took.
+    pub elapsed: Ns,
+}
+
+impl SeqResult {
+    /// Throughput in GB/s (the Table 2 metric).
+    pub fn gbps(&self) -> f64 {
+        if self.elapsed == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.elapsed as f64
+    }
+}
+
+/// The sequential workload over a `pages`-page region.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqWorkload {
+    /// Region size in 4 KiB pages.
+    pub pages: usize,
+}
+
+impl SeqWorkload {
+    /// Allocates and populates the region (writes one stamp per page),
+    /// returning the base address.
+    pub fn populate(&self, mem: &mut dyn FarMemory) -> u64 {
+        let base = mem.alloc(self.pages * 4096);
+        for p in 0..self.pages as u64 {
+            mem.write_u64(0, base + p * 4096, p ^ 0x5A5A);
+        }
+        base
+    }
+
+    /// Sequential read pass with 4 KiB strides; verifies the stamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page comes back corrupted (the substrate lost data).
+    pub fn read_pass(&self, mem: &mut dyn FarMemory, base: u64) -> SeqResult {
+        let t0 = mem.now(0);
+        for p in 0..self.pages as u64 {
+            let v = mem.read_u64(0, base + p * 4096);
+            assert_eq!(v, p ^ 0x5A5A, "page {p} corrupted");
+        }
+        SeqResult {
+            bytes: (self.pages * 4096) as u64,
+            elapsed: mem.now(0) - t0,
+        }
+    }
+
+    /// Sequential write pass with 4 KiB strides.
+    pub fn write_pass(&self, mem: &mut dyn FarMemory, base: u64) -> SeqResult {
+        let t0 = mem.now(0);
+        for p in 0..self.pages as u64 {
+            mem.write_u64(0, base + p * 4096, p.wrapping_mul(3));
+        }
+        SeqResult {
+            bytes: (self.pages * 4096) as u64,
+            elapsed: mem.now(0) - t0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farmem::{SystemKind, SystemSpec};
+
+    #[test]
+    fn table2_shape_read_throughput_ordering() {
+        // Table 2: DiLOS readahead > DiLOS no-prefetch > Fastswap on
+        // sequential read at 12.5 % local memory.
+        let ws = 512u64 * 4096;
+        let wl = SeqWorkload { pages: 512 };
+        let run = |kind| {
+            let mut mem = SystemSpec::for_working_set(kind, ws, 13).boot();
+            let base = wl.populate(mem.as_mut());
+            wl.read_pass(mem.as_mut(), base).gbps()
+        };
+        let fastswap = run(SystemKind::Fastswap);
+        let none = run(SystemKind::DilosNoPrefetch);
+        let ra = run(SystemKind::DilosReadahead);
+        assert!(
+            none > fastswap,
+            "DiLOS no-prefetch {none:.2} vs Fastswap {fastswap:.2}"
+        );
+        assert!(
+            ra > 2.0 * none,
+            "readahead {ra:.2} vs no-prefetch {none:.2}"
+        );
+    }
+
+    #[test]
+    fn write_pass_is_write_dominated() {
+        let ws = 256u64 * 4096;
+        let wl = SeqWorkload { pages: 256 };
+        let mut mem = SystemSpec::for_working_set(SystemKind::DilosReadahead, ws, 13).boot();
+        let base = wl.populate(mem.as_mut());
+        let r = wl.write_pass(mem.as_mut(), base);
+        assert!(r.gbps() > 0.0);
+    }
+}

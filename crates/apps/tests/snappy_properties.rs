@@ -1,0 +1,69 @@
+//! Property tests for the Snappy codec.
+//!
+//! Two obligations: (1) compression round-trips arbitrary inputs exactly;
+//! (2) the decompressor is total — arbitrary bytes never panic, they either
+//! decode or return an error (the decompressor is exposed to remote data).
+
+use dilos_apps::snappy::{compress, decompress};
+use proptest::prelude::*;
+
+/// Inputs mixing compressible runs with random noise.
+fn mixed_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            // A run of one byte (RLE-style copies).
+            (any::<u8>(), 1usize..200).prop_map(|(b, n)| vec![b; n]),
+            // A repeated short phrase (dictionary-style copies).
+            (prop::collection::vec(any::<u8>(), 1..12), 1usize..20).prop_map(|(w, n)| w.repeat(n)),
+            // Raw noise (literals).
+            prop::collection::vec(any::<u8>(), 0..300),
+        ],
+        0..12,
+    )
+    .prop_map(|chunks| chunks.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_is_exact(input in mixed_input()) {
+        let c = compress(&input);
+        let back = decompress(&c).expect("own output must decode");
+        prop_assert_eq!(back, input);
+    }
+
+    #[test]
+    fn roundtrip_is_exact_on_pure_noise(input in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&input);
+        // Framing overhead on incompressible data stays small.
+        prop_assert!(c.len() <= input.len() + input.len() / 32 + 16);
+        prop_assert_eq!(decompress(&c).expect("own output must decode"), input);
+    }
+
+    #[test]
+    fn compressible_input_actually_shrinks(b in any::<u8>(), n in 512usize..8192) {
+        let input = vec![b; n];
+        let c = compress(&input);
+        prop_assert!(c.len() < n / 8, "RLE input must compress hard: {} -> {}", n, c.len());
+    }
+
+    /// Decompression is total over arbitrary bytes: no panics, no UB — only
+    /// `Ok` (if it happens to be a valid stream) or a structured error.
+    #[test]
+    fn decompressor_is_total(garbage in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = decompress(&garbage);
+    }
+
+    /// Truncating a valid stream never panics and never produces a
+    /// silently-wrong success of the full length.
+    #[test]
+    fn truncation_is_detected(input in mixed_input(), cut in 0usize..100) {
+        prop_assume!(!input.is_empty());
+        let c = compress(&input);
+        let cut = cut.min(c.len().saturating_sub(1));
+        if let Ok(out) = decompress(&c[..cut]) {
+            prop_assert_ne!(out, input, "truncated stream decoded to the full input");
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! The AIFM baseline: application-integrated far memory.
+//!
+//! AIFM (Ruan et al., OSDI '20) avoids page faults entirely: remoteable
+//! objects are dereferenced through smart pointers that *check* locality on
+//! every access, misses are handled by a user-level runtime over TCP, and a
+//! multi-threaded background prefetcher streams sequential data with
+//! "almost perfect overlapping of computation and networking" (§6.2 of the
+//! DiLOS paper).
+//!
+//! The model reproduces AIFM's three signatures the DiLOS evaluation leans
+//! on:
+//!
+//! 1. **No exception cost** — a miss or an in-flight wait costs user-level
+//!    handling only, so AIFM wins on sequential scans under tight local
+//!    memory (Figure 7c/d at 12.5 %).
+//! 2. **Per-deref tax** — every access pays the locality check, so AIFM
+//!    *loses* when everything is local (Figure 8 at 100 %).
+//! 3. **Object-granularity I/O** — fetches move the object (≤ one chunk),
+//!    not the page, and ride TCP with the paper's 14,000-cycle handicap.
+
+use std::collections::HashMap;
+
+use dilos_sim::{CoreClock, Ns, RdmaEndpoint, ServiceClass, SimConfig, PAGE_SIZE};
+
+/// AIFM runtime costs, in virtual nanoseconds.
+#[derive(Debug, Clone)]
+pub struct AifmCosts {
+    /// Smart-pointer locality check per dereference (the "extra
+    /// instructions" §6.2 blames for AIFM's 100 %-local slowdown).
+    pub deref_check_ns: Ns,
+    /// User-level miss handling (runtime dispatch, no kernel crossing).
+    pub miss_handling_ns: Ns,
+    /// Evacuator software cost per evicted chunk (background).
+    pub evict_scan_ns: Ns,
+}
+
+impl Default for AifmCosts {
+    fn default() -> Self {
+        Self {
+            deref_check_ns: 6,
+            miss_handling_ns: 600,
+            evict_scan_ns: 150,
+        }
+    }
+}
+
+/// AIFM configuration.
+#[derive(Debug, Clone)]
+pub struct AifmConfig {
+    /// Local memory budget in 4 KiB chunks (`kCacheGBs` in AIFM).
+    pub local_chunks: usize,
+    /// Remote pool size in bytes.
+    pub remote_bytes: u64,
+    /// Simulated cores.
+    pub cores: usize,
+    /// Fabric calibration.
+    pub sim: SimConfig,
+    /// Runtime costs.
+    pub costs: AifmCosts,
+    /// Background prefetcher's maximum stream depth.
+    pub prefetch_depth: usize,
+    /// Use TCP (AIFM's transport; adds the per-completion handicap).
+    pub tcp: bool,
+}
+
+impl Default for AifmConfig {
+    fn default() -> Self {
+        Self {
+            local_chunks: 1024,
+            remote_bytes: 1 << 32,
+            cores: 1,
+            sim: SimConfig::default(),
+            costs: AifmCosts::default(),
+            prefetch_depth: 16,
+            tcp: true,
+        }
+    }
+}
+
+/// AIFM counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AifmStats {
+    /// Dereferences checked.
+    pub derefs: u64,
+    /// Chunk misses that issued a demand fetch.
+    pub misses: u64,
+    /// Accesses that waited on an in-flight prefetched chunk.
+    pub inflight_waits: u64,
+    /// Chunks prefetched by the background streamer.
+    pub prefetched: u64,
+    /// Chunks evacuated to the remote pool.
+    pub evictions: u64,
+    /// Dirty chunks written back.
+    pub writebacks: u64,
+}
+
+#[derive(Debug, Clone)]
+enum ChunkState {
+    Local {
+        data: Box<[u8]>,
+        dirty: bool,
+        accessed: bool,
+        ready_at: Ns,
+    },
+    Remote,
+}
+
+const BASE_VA: u64 = 0x1000_0000_0000;
+const CHUNK: usize = PAGE_SIZE;
+
+/// The AIFM compute node.
+pub struct Aifm {
+    cfg: AifmConfig,
+    rdma: RdmaEndpoint,
+    chunks: HashMap<u64, ChunkState>,
+    /// Allocation sizes (object granularity for the final chunk).
+    allocs: Vec<(u64, usize)>,
+    local_count: usize,
+    lru: Vec<u64>,
+    clock_hand: usize,
+    clocks: Vec<CoreClock>,
+    last_chunk: u64,
+    stream_window: usize,
+    stats: AifmStats,
+    brk: u64,
+}
+
+impl std::fmt::Debug for Aifm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aifm")
+            .field("local_chunks", &self.cfg.local_chunks)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Aifm {
+    /// Boots an AIFM node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration.
+    pub fn new(cfg: AifmConfig) -> Self {
+        assert!(cfg.cores > 0, "at least one core");
+        assert!(cfg.local_chunks >= 16, "cache too small");
+        let mut rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
+        rdma.set_tcp_mode(cfg.tcp);
+        Self {
+            rdma,
+            chunks: HashMap::new(),
+            allocs: Vec::new(),
+            local_count: 0,
+            lru: Vec::new(),
+            clock_hand: 0,
+            clocks: vec![CoreClock::new(); cfg.cores],
+            last_chunk: u64::MAX,
+            stream_window: 2,
+            stats: AifmStats::default(),
+            brk: BASE_VA,
+            cfg,
+        }
+    }
+
+    /// Node statistics.
+    pub fn stats(&self) -> &AifmStats {
+        &self.stats
+    }
+
+    /// The RDMA endpoint.
+    pub fn rdma(&self) -> &RdmaEndpoint {
+        &self.rdma
+    }
+
+    /// Current virtual time on `core`.
+    pub fn now(&self, core: usize) -> Ns {
+        self.clocks[core].now()
+    }
+
+    /// Charges application compute.
+    pub fn compute(&mut self, core: usize, ns: Ns) {
+        self.clocks[core].advance(ns);
+    }
+
+    /// Joins all core clocks.
+    pub fn barrier(&mut self) -> Ns {
+        let t = self.clocks.iter().map(CoreClock::now).max().unwrap_or(0);
+        for c in &mut self.clocks {
+            c.wait_until(t);
+        }
+        t
+    }
+
+    /// Completion time across cores.
+    pub fn max_now(&self) -> Ns {
+        self.clocks.iter().map(CoreClock::now).max().unwrap_or(0)
+    }
+
+    /// Allocates a remoteable object/array of `len` bytes.
+    pub fn alloc(&mut self, len: usize) -> u64 {
+        let va = self.brk;
+        let len_r = (len.max(1) + CHUNK - 1) & !(CHUNK - 1);
+        self.brk += len_r as u64;
+        assert!(
+            self.brk - BASE_VA <= self.cfg.remote_bytes,
+            "remote pool exhausted"
+        );
+        self.allocs.push((va, len));
+        va
+    }
+
+    /// Frees the object at `va` spanning `len` bytes.
+    pub fn free(&mut self, va: u64, len: usize) {
+        let start = va >> 12;
+        let end = (va + len as u64 + CHUNK as u64 - 1) >> 12;
+        for c in start..end {
+            if let Some(ChunkState::Local { .. }) = self.chunks.remove(&c) {
+                self.local_count -= 1;
+                self.lru.retain(|&v| v != c);
+            }
+        }
+        self.allocs.retain(|&(a, _)| a != va);
+    }
+
+    /// Reads through a remoteable pointer.
+    pub fn read(&mut self, core: usize, va: u64, buf: &mut [u8]) {
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let a = va + done as u64;
+            let chunk = a >> 12;
+            let off = (a & 0xFFF) as usize;
+            let n = (CHUNK - off).min(len - done);
+            self.deref(core, chunk, false);
+            let ChunkState::Local { data, .. } = &self.chunks[&chunk] else {
+                unreachable!("deref localizes the chunk");
+            };
+            buf[done..done + n].copy_from_slice(&data[off..off + n]);
+            self.charge_copy(core, n);
+            done += n;
+        }
+    }
+
+    /// Writes through a remoteable pointer.
+    pub fn write(&mut self, core: usize, va: u64, buf: &[u8]) {
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let a = va + done as u64;
+            let chunk = a >> 12;
+            let off = (a & 0xFFF) as usize;
+            let n = (CHUNK - off).min(len - done);
+            self.deref(core, chunk, true);
+            let Some(ChunkState::Local { data, dirty, .. }) = self.chunks.get_mut(&chunk) else {
+                unreachable!("deref localizes the chunk");
+            };
+            data[off..off + n].copy_from_slice(&buf[done..done + n]);
+            *dirty = true;
+            self.charge_copy(core, n);
+            done += n;
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self, core: usize, va: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(core, va, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, core: usize, va: u64, v: u64) {
+        self.write(core, va, &v.to_le_bytes());
+    }
+
+    fn charge_copy(&mut self, core: usize, bytes: usize) {
+        let ns = self.cfg.sim.local_access_ns + (bytes as f64 * 0.05) as Ns;
+        self.clocks[core].advance(ns);
+    }
+
+    /// The smart-pointer dereference: check, localize if needed.
+    fn deref(&mut self, core: usize, chunk: u64, _is_write: bool) {
+        self.stats.derefs += 1;
+        self.clocks[core].advance(self.cfg.costs.deref_check_ns);
+        match self.chunks.get_mut(&chunk) {
+            Some(ChunkState::Local {
+                accessed, ready_at, ..
+            }) => {
+                *accessed = true;
+                let ready = *ready_at;
+                let now = self.clocks[core].now();
+                if ready > now {
+                    // In-flight prefetch: wait, but no exception — AIFM's
+                    // edge over paging on tight sequential scans.
+                    self.stats.inflight_waits += 1;
+                    self.clocks[core].wait_until(ready);
+                }
+            }
+            Some(ChunkState::Remote) => self.miss(core, chunk),
+            None => {
+                // First touch: materialize a zeroed local chunk.
+                self.make_room(core, 1, Some(chunk));
+                self.chunks.insert(
+                    chunk,
+                    ChunkState::Local {
+                        data: vec![0u8; CHUNK].into_boxed_slice(),
+                        dirty: false,
+                        accessed: true,
+                        ready_at: 0,
+                    },
+                );
+                self.local_count += 1;
+                self.lru.push(chunk);
+            }
+        }
+    }
+
+    /// Demand-fetch a chunk and stream ahead.
+    fn miss(&mut self, core: usize, chunk: u64) {
+        self.stats.misses += 1;
+        self.make_room(core, 1, Some(chunk));
+        let costs = self.cfg.costs.clone();
+        let t = self.clocks[core].now() + costs.miss_handling_ns;
+        let remote = (chunk - (BASE_VA >> 12)) << 12;
+        let mut data = vec![0u8; CHUNK].into_boxed_slice();
+        let done = self
+            .rdma
+            .read(t, core, ServiceClass::App, remote, &mut data)
+            .expect("fetch inside remote pool");
+        self.chunks.insert(
+            chunk,
+            ChunkState::Local {
+                data,
+                dirty: false,
+                accessed: true,
+                ready_at: 0,
+            },
+        );
+        self.local_count += 1;
+        self.lru.push(chunk);
+
+        // Background streamer: on a sequential miss pattern, pull the next
+        // chunks with growing depth. After a stream of depth `w`, the next
+        // miss lands `w + 1` chunks ahead — that still counts as sequential.
+        if chunk > self.last_chunk && chunk - self.last_chunk <= self.stream_window as u64 + 1 {
+            self.stream_window = (self.stream_window * 2).min(self.cfg.prefetch_depth);
+        } else {
+            self.stream_window = 2;
+        }
+        self.last_chunk = chunk;
+        let window = self.stream_window;
+        for i in 1..=window as u64 {
+            self.prefetch(core, chunk + i, t, chunk);
+        }
+        self.clocks[core].wait_until(done);
+    }
+
+    /// Streams one chunk ahead; never evicts `protect` (the chunk the
+    /// current dereference is localizing).
+    fn prefetch(&mut self, core: usize, chunk: u64, t: Ns, protect: u64) {
+        if ((chunk - (BASE_VA >> 12)) << 12) >= self.cfg.remote_bytes {
+            return;
+        }
+        if !matches!(self.chunks.get(&chunk), Some(ChunkState::Remote)) {
+            return;
+        }
+        if self.local_count + 1 >= self.cfg.local_chunks {
+            self.make_room(core, 1, Some(protect));
+        }
+        if self.local_count + 1 > self.cfg.local_chunks {
+            return;
+        }
+        let remote = (chunk - (BASE_VA >> 12)) << 12;
+        let mut data = vec![0u8; CHUNK].into_boxed_slice();
+        let Ok(done) = self
+            .rdma
+            .read(t, core, ServiceClass::Prefetch, remote, &mut data)
+        else {
+            return;
+        };
+        self.chunks.insert(
+            chunk,
+            ChunkState::Local {
+                data,
+                dirty: false,
+                accessed: false,
+                ready_at: done,
+            },
+        );
+        self.local_count += 1;
+        self.lru.push(chunk);
+        self.stats.prefetched += 1;
+    }
+
+    /// Evacuates cold chunks until `need` fit under the budget.
+    ///
+    /// Evacuation is the AIFM runtime's job and runs concurrently with the
+    /// mutator; writebacks ride the cleaner queue asynchronously. `protect`
+    /// names a chunk that must never be chosen as a victim (the one the
+    /// current dereference is localizing).
+    fn make_room(&mut self, core: usize, need: usize, protect: Option<u64>) {
+        let budget = self.cfg.local_chunks;
+        let mut guard = 3 * self.lru.len() + 8;
+        while self.local_count + need > budget && guard > 0 {
+            guard -= 1;
+            if self.lru.is_empty() {
+                break;
+            }
+            if self.clock_hand >= self.lru.len() {
+                self.clock_hand = 0;
+            }
+            let victim = self.lru[self.clock_hand];
+            if Some(victim) == protect {
+                self.clock_hand += 1;
+                continue;
+            }
+            let now = self.clocks[core].now();
+            let Some(ChunkState::Local {
+                dirty,
+                accessed,
+                ready_at,
+                ..
+            }) = self.chunks.get_mut(&victim)
+            else {
+                self.lru.swap_remove(self.clock_hand);
+                continue;
+            };
+            if *ready_at > now {
+                self.clock_hand += 1;
+                continue;
+            }
+            if *accessed {
+                *accessed = false;
+                self.clock_hand += 1;
+                continue;
+            }
+            let dirty = *dirty;
+            let Some(ChunkState::Local { data, .. }) = self.chunks.remove(&victim) else {
+                unreachable!("checked above");
+            };
+            if dirty {
+                let remote = (victim - (BASE_VA >> 12)) << 12;
+                self.rdma
+                    .write(now, core, ServiceClass::Cleaner, remote, &data)
+                    .expect("writeback inside remote pool");
+                self.stats.writebacks += 1;
+            }
+            self.chunks.insert(victim, ChunkState::Remote);
+            self.lru.swap_remove(self.clock_hand);
+            self.local_count -= 1;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(local_chunks: usize) -> Aifm {
+        Aifm::new(AifmConfig {
+            local_chunks,
+            remote_bytes: 1 << 28,
+            ..AifmConfig::default()
+        })
+    }
+
+    #[test]
+    fn roundtrip_through_evacuation() {
+        let mut n = node(64);
+        let va = n.alloc(256 * CHUNK);
+        for p in 0..256u64 {
+            n.write_u64(0, va + p * CHUNK as u64, p * 11);
+        }
+        for p in 0..256u64 {
+            assert_eq!(n.read_u64(0, va + p * CHUNK as u64), p * 11);
+        }
+        let s = n.stats();
+        assert!(s.misses > 0);
+        assert!(s.evictions > 0);
+        assert!(s.writebacks > 0);
+    }
+
+    #[test]
+    fn every_access_pays_the_deref_check() {
+        let mut n = node(64);
+        let va = n.alloc(CHUNK);
+        n.write_u64(0, va, 1);
+        let t0 = n.now(0);
+        let d0 = n.stats().derefs;
+        for _ in 0..1_000 {
+            let _ = n.read_u64(0, va);
+        }
+        assert_eq!(n.stats().derefs - d0, 1_000);
+        let per_access = (n.now(0) - t0) / 1_000;
+        assert!(
+            per_access >= n.cfg.costs.deref_check_ns,
+            "deref tax missing: {per_access}"
+        );
+    }
+
+    #[test]
+    fn streaming_prefetch_overlaps_fetches() {
+        let run = |depth: usize| {
+            let mut n = Aifm::new(AifmConfig {
+                local_chunks: 64,
+                remote_bytes: 1 << 28,
+                prefetch_depth: depth,
+                ..AifmConfig::default()
+            });
+            let va = n.alloc(512 * CHUNK);
+            for p in 0..512u64 {
+                n.write_u64(0, va + p * CHUNK as u64, p);
+            }
+            for p in 0..512u64 {
+                let _ = n.read_u64(0, va + p * CHUNK as u64);
+            }
+            (n.now(0), n.stats().prefetched)
+        };
+        let (t_stream, pf) = run(16);
+        let (t_none, _) = run(1);
+        assert!(pf > 0);
+        assert!(
+            t_stream < t_none,
+            "streaming must be faster: {t_stream} vs {t_none}"
+        );
+    }
+
+    #[test]
+    fn no_exception_cost_on_inflight_waits() {
+        let mut n = node(64);
+        let va = n.alloc(256 * CHUNK);
+        for p in 0..256u64 {
+            n.write_u64(0, va + p * CHUNK as u64, p);
+        }
+        for p in 0..256u64 {
+            let _ = n.read_u64(0, va + p * CHUNK as u64);
+        }
+        assert!(
+            n.stats().inflight_waits > 0,
+            "streamer must be caught up to"
+        );
+    }
+
+    #[test]
+    fn deterministic_virtual_time() {
+        let run = || {
+            let mut n = node(64);
+            let va = n.alloc(200 * CHUNK);
+            for p in 0..200u64 {
+                n.write_u64(0, va + p * CHUNK as u64, p);
+            }
+            for p in (0..200u64).rev() {
+                let _ = n.read_u64(0, va + p * CHUNK as u64);
+            }
+            n.now(0)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,18 @@
+//! `dilos-baselines` — the comparison systems of the DiLOS evaluation.
+//!
+//! The paper compares DiLOS against two systems, both re-implemented here
+//! from scratch on the same `dilos-sim` substrate so the comparison isolates
+//! the *data-path design*, not the hardware:
+//!
+//! - [`fastswap`] — the state-of-the-art kernel paging system: Linux swap
+//!   cache, cluster readahead, direct + offloaded reclamation, kernel
+//!   crossing costs, TLB shootdowns.
+//! - [`aifm`] — the state-of-the-art user-level system: remoteable objects
+//!   with per-dereference checks, a user-level miss path over TCP, and a
+//!   background streaming prefetcher.
+
+pub mod aifm;
+pub mod fastswap;
+
+pub use aifm::{Aifm, AifmConfig, AifmCosts, AifmStats};
+pub use fastswap::{Fastswap, FastswapBreakdown, FastswapConfig, FastswapCosts, FastswapStats};

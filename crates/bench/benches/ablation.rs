@@ -1,0 +1,22 @@
+//! Ablation — DiLOS design choices and the scatter/gather vector cap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::ablation::{ablation_design_choices, ablation_vector_length};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation_design_choices(2_048).render());
+    println!("{}", ablation_vector_length(256).render());
+    c.bench_function("ablation_run", |b| {
+        b.iter(|| ablation_design_choices(512).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 1 — Fastswap's page-fault latency breakdown.
+//!
+//! Prints the regenerated table once, then Criterion-measures the harness:
+//! a full Fastswap sequential-read run (populate + read-back).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::micro::{fig01_fastswap_breakdown, MicroScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = MicroScale {
+        pages: 1_024,
+        ratio: 13,
+    };
+    println!("{}", fig01_fastswap_breakdown(scale).render());
+    c.bench_function("fig01_fastswap_seq_read", |b| {
+        b.iter(|| fig01_fastswap_breakdown(scale).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 2 — RDMA latency vs object size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::micro::fig02_rdma_latency;
+use dilos_sim::{RdmaEndpoint, ServiceClass, SimConfig};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig02_rdma_latency().render());
+    c.bench_function("fig02_4k_read_verb", |b| {
+        let mut ep = RdmaEndpoint::connect(SimConfig::default(), 1 << 26);
+        let mut buf = vec![0u8; 4096];
+        let mut t = 0u64;
+        b.iter(|| {
+            t = ep
+                .read(t, 0, ServiceClass::App, 0, &mut buf)
+                .expect("probe read");
+            t
+        })
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 6 — DiLOS vs Fastswap fault-latency breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::micro::{fig06_latency_breakdown, MicroScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = MicroScale {
+        pages: 1_024,
+        ratio: 13,
+    };
+    println!("{}", fig06_latency_breakdown(scale).render());
+    c.bench_function("fig06_breakdown_run", |b| {
+        b.iter(|| fig06_latency_breakdown(scale).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 7 — the simple benchmarks: quicksort, k-means, snappy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::apps_exp::{fig07a_quicksort, fig07b_kmeans, fig07cd_snappy, SimpleScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = SimpleScale {
+        sort_elements: 65_536,
+        kmeans_points: 32_768,
+        snappy_bytes: 256 * 1024,
+    };
+    println!("{}", fig07a_quicksort(scale).render());
+    println!("{}", fig07b_kmeans(scale).render());
+    println!("{}", fig07cd_snappy(scale).render());
+    c.bench_function("fig07_kmeans_run", |b| {
+        let small = SimpleScale {
+            sort_elements: 8_192,
+            kmeans_points: 8_192,
+            snappy_bytes: 65_536,
+        };
+        b.iter(|| fig07b_kmeans(small).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

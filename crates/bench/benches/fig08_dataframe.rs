@@ -1,0 +1,21 @@
+//! Figure 8 — the DataFrame NYC-taxi analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::apps_exp::fig08_dataframe;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig08_dataframe(8_000).render());
+    c.bench_function("fig08_taxi_run", |b| {
+        b.iter(|| fig08_dataframe(2_000).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 9 — GAPBS PageRank and betweenness centrality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::apps_exp::fig09_gapbs;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig09_gapbs(10).render());
+    c.bench_function("fig09_gapbs_run", |b| b.iter(|| fig09_gapbs(8).rows.len()));
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

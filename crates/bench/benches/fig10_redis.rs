@@ -1,0 +1,40 @@
+//! Figure 10 — Redis GET/LRANGE throughput across systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::redis_exp::{fig10_redis, RedisScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn small() -> RedisScale {
+    RedisScale {
+        keys_4k: 192,
+        keys_64k: 24,
+        keys_mixed: 32,
+        lists: 24,
+        list_elements: 2_400,
+        queries: 300,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig10_redis(small()).render());
+    c.bench_function("fig10_redis_run", |b| {
+        let tiny = RedisScale {
+            keys_4k: 64,
+            keys_64k: 16,
+            keys_mixed: 16,
+            lists: 8,
+            list_elements: 400,
+            queries: 100,
+        };
+        b.iter(|| fig10_redis(tiny).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 12 — guided-paging bandwidth during DEL and GET.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::redis_exp::fig12_bandwidth;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig12_bandwidth(2_048, 1_000).render());
+    c.bench_function("fig12_bandwidth_run", |b| {
+        b.iter(|| fig12_bandwidth(512, 200).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 1 — page-fault counts on Fastswap during sequential read.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::micro::{tab01_tab03_fault_counts, MicroScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = MicroScale {
+        pages: 1_024,
+        ratio: 13,
+    };
+    println!("{}", tab01_tab03_fault_counts(scale).render());
+    c.bench_function("tab01_fault_count_run", |b| {
+        b.iter(|| tab01_tab03_fault_counts(scale).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

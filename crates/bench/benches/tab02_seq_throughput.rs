@@ -1,0 +1,25 @@
+//! Table 2 — sequential read/write throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::micro::{tab02_seq_throughput, MicroScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = MicroScale {
+        pages: 1_024,
+        ratio: 13,
+    };
+    println!("{}", tab02_seq_throughput(scale).render());
+    c.bench_function("tab02_throughput_run", |b| {
+        b.iter(|| tab02_seq_throughput(scale).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

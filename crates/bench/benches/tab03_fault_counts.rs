@@ -1,0 +1,34 @@
+//! Table 3 — page-fault counts across systems/prefetchers (shares its
+//! machinery with Table 1; the DiLOS rows are the Table 3 payload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_apps::farmem::{SystemKind, SystemSpec};
+use dilos_apps::seqrw::SeqWorkload;
+use dilos_bench::micro::{tab01_tab03_fault_counts, MicroScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = MicroScale {
+        pages: 1_024,
+        ratio: 13,
+    };
+    println!("{}", tab01_tab03_fault_counts(scale).render());
+    c.bench_function("tab03_dilos_readahead_seq_read", |b| {
+        b.iter(|| {
+            let wl = SeqWorkload { pages: 512 };
+            let mut mem =
+                SystemSpec::for_working_set(SystemKind::DilosReadahead, 512 * 4096, 13).boot();
+            let base = wl.populate(mem.as_mut());
+            wl.read_pass(mem.as_mut(), base).elapsed
+        })
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

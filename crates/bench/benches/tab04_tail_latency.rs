@@ -1,0 +1,37 @@
+//! Table 4 — GET (mixed) and LRANGE tail latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dilos_bench::redis_exp::{tab04_tail_latency, RedisScale};
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench(c: &mut Criterion) {
+    let scale = RedisScale {
+        keys_4k: 192,
+        keys_64k: 24,
+        keys_mixed: 32,
+        lists: 24,
+        list_elements: 2_400,
+        queries: 300,
+    };
+    println!("{}", tab04_tail_latency(scale).render());
+    c.bench_function("tab04_tail_run", |b| {
+        let tiny = RedisScale {
+            keys_4k: 64,
+            keys_64k: 16,
+            keys_mixed: 16,
+            lists: 8,
+            list_elements: 400,
+            queries: 100,
+        };
+        b.iter(|| tab04_tail_latency(tiny).rows.len())
+    });
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

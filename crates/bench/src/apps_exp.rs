@@ -1,0 +1,223 @@
+//! Application experiments: Figures 7, 8, and 9.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dilos_apps::dataframe::TaxiWorkload;
+use dilos_apps::farmem::{SystemKind, SystemSpec};
+use dilos_apps::gapbs::{GraphGuide, GraphWorkload};
+use dilos_apps::kmeans::KmeansWorkload;
+use dilos_apps::quicksort::QuicksortWorkload;
+use dilos_apps::snappy::SnappyWorkload;
+use dilos_core::{Dilos, DilosConfig, Readahead};
+
+use crate::table::{ms, Report};
+
+/// The local-memory ratios the paper sweeps.
+pub const RATIOS: [u32; 4] = [13, 25, 50, 100];
+
+/// Scale for the Figure 7 simple benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct SimpleScale {
+    /// Quicksort elements (paper: 2048 M).
+    pub sort_elements: usize,
+    /// K-means points (paper: 15 M).
+    pub kmeans_points: usize,
+    /// Snappy input bytes (paper: 16 GB).
+    pub snappy_bytes: usize,
+}
+
+impl Default for SimpleScale {
+    fn default() -> Self {
+        Self {
+            sort_elements: 1 << 19,
+            kmeans_points: 65_536,
+            snappy_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Figure 7(a): quicksort completion time vs local memory ratio.
+pub fn fig07a_quicksort(scale: SimpleScale) -> Report {
+    let mut report = Report::new(
+        "Figure 7(a) — quicksort completion time (ms)",
+        &["system", "12.5%", "25%", "50%", "100%"],
+    );
+    let wl = QuicksortWorkload {
+        elements: scale.sort_elements,
+        seed: 42,
+    };
+    let ws = (scale.sort_elements * 8) as u64;
+    for kind in [
+        SystemKind::Fastswap,
+        SystemKind::DilosNoPrefetch,
+        SystemKind::DilosReadahead,
+    ] {
+        let mut row = vec![kind.label().to_string()];
+        for ratio in RATIOS {
+            let mut mem = SystemSpec::for_working_set(kind, ws, ratio).boot();
+            let arr = wl.populate(mem.as_mut());
+            let elapsed = wl.sort(mem.as_mut(), arr);
+            assert!(wl.verify(mem.as_mut(), arr), "sort must be correct");
+            row.push(ms(elapsed));
+        }
+        report.row(row);
+    }
+    report.note("Paper: Fastswap degrades 39 % from 100 % to 12.5 %; DiLOS only 12 % (1.39× gap).");
+    report
+}
+
+/// Figure 7(b): k-means completion time vs local memory ratio.
+pub fn fig07b_kmeans(scale: SimpleScale) -> Report {
+    let mut report = Report::new(
+        "Figure 7(b) — k-means completion time (ms)",
+        &["system", "12.5%", "25%", "50%", "100%"],
+    );
+    let wl = KmeansWorkload {
+        points: scale.kmeans_points,
+        k: 10,
+        max_iters: 6,
+        seed: 7,
+    };
+    // Points + assignment arrays.
+    let ws = (scale.kmeans_points * 16) as u64;
+    for kind in [
+        SystemKind::Fastswap,
+        SystemKind::DilosNoPrefetch,
+        SystemKind::DilosReadahead,
+    ] {
+        let mut row = vec![kind.label().to_string()];
+        for ratio in RATIOS {
+            let mut mem = SystemSpec::for_working_set(kind, ws, ratio).boot();
+            let pts = wl.populate(mem.as_mut());
+            let r = wl.run(mem.as_mut(), pts);
+            row.push(ms(r.elapsed));
+        }
+        report.row(row);
+    }
+    report.note("Paper: DiLOS up to 2.71× faster than Fastswap at 12.5 %.");
+    report
+}
+
+/// Figure 7(c,d): Snappy compression/decompression vs local memory ratio,
+/// including AIFM and DiLOS-TCP.
+pub fn fig07cd_snappy(scale: SimpleScale) -> Report {
+    let mut report = Report::new(
+        "Figure 7(c,d) — snappy compress+decompress completion time (ms)",
+        &["system", "12.5%", "25%", "50%", "100%"],
+    );
+    let wl = SnappyWorkload {
+        input_bytes: scale.snappy_bytes,
+        seed: 3,
+    };
+    let ws = scale.snappy_bytes as u64 * 2;
+    for kind in [
+        SystemKind::Fastswap,
+        SystemKind::DilosReadahead,
+        SystemKind::DilosTcp,
+        SystemKind::Aifm,
+    ] {
+        let mut row = vec![kind.label().to_string()];
+        for ratio in RATIOS {
+            let mut mem = SystemSpec::for_working_set(kind, ws, ratio).boot();
+            let src = wl.populate(mem.as_mut());
+            let r = wl.roundtrip_far(mem.as_mut(), src);
+            row.push(ms(r.elapsed));
+        }
+        report.row(row);
+    }
+    report.note("Paper at 12.5 %: AIFM best; DiLOS within 7–9 %, DiLOS-TCP 17–23 %, Fastswap 35–40 % behind.");
+    report.note("At 100 %: AIFM similar or slower (per-deref checks).");
+    report
+}
+
+/// Figure 8: DataFrame NYC-taxi analysis completion time vs local memory.
+pub fn fig08_dataframe(rows: usize) -> Report {
+    let mut report = Report::new(
+        "Figure 8 — DataFrame NYC taxi completion time (ms)",
+        &["system", "12.5%", "25%", "50%", "100%"],
+    );
+    let wl = TaxiWorkload { rows, seed: 17 };
+    for kind in [
+        SystemKind::Fastswap,
+        SystemKind::DilosReadahead,
+        SystemKind::DilosTcp,
+        SystemKind::Aifm,
+    ] {
+        let mut row = vec![kind.label().to_string()];
+        for ratio in RATIOS {
+            let mut mem = SystemSpec::for_working_set(kind, wl.working_set(), ratio).boot();
+            let t = wl.populate(mem.as_mut());
+            let a = wl.analyze(mem.as_mut(), &t);
+            row.push(ms(a.elapsed));
+        }
+        report.row(row);
+    }
+    report.note(
+        "Paper: at 100 % AIFM is 50–83 % slower; DiLOS beats AIFM by 54 % (RDMA) / 14 % (TCP).",
+    );
+    report.note(
+        "Fastswap's completion more than doubles as memory shrinks; DiLOS/AIFM rise slightly.",
+    );
+    report
+}
+
+/// Figure 9: GAPBS PageRank and betweenness centrality vs local memory.
+pub fn fig09_gapbs(scale: u32) -> Report {
+    let mut report = Report::new(
+        "Figure 9 — GAPBS processing time (ms), 4 threads",
+        &["kernel", "system", "12.5%", "25%", "50%", "100%"],
+    );
+    // Twitter (the paper's dataset) is dense: ~35 edges per vertex. A high
+    // edge factor keeps the same shape — per-vertex state is the hot random
+    // set, the CSR is the streamed bulk.
+    let wl = GraphWorkload {
+        scale,
+        edge_factor: 32,
+        seed: 21,
+        threads: 4,
+    };
+    for kernel in ["PageRank", "BC"] {
+        for kind in [SystemKind::Fastswap, SystemKind::DilosReadahead] {
+            let mut row = vec![kernel.to_string(), kind.label().to_string()];
+            for ratio in RATIOS {
+                let mut spec = SystemSpec::for_working_set(kind, wl.working_set(), ratio);
+                spec.cores = wl.threads;
+                let mut mem = spec.boot();
+                let g = wl.build(mem.as_mut());
+                let elapsed = match kernel {
+                    "PageRank" => wl.pagerank(mem.as_mut(), &g, 5).1,
+                    _ => wl.betweenness(mem.as_mut(), &g, 2).1,
+                };
+                row.push(ms(elapsed));
+            }
+            report.row(row);
+        }
+    }
+    // Extra row beyond the paper: the app-aware CSR guide on BC (the §4.3
+    // guide API applied to a second application domain).
+    {
+        let mut row = vec!["BC".to_string(), "DiLOS app-aware".to_string()];
+        for ratio in RATIOS {
+            let local_pages = ((wl.working_set() / 4096) * ratio as u64 / 100).max(32) as usize;
+            let mut node = Dilos::new(DilosConfig {
+                local_pages,
+                remote_bytes: (wl.working_set() * 4).next_power_of_two(),
+                cores: wl.threads,
+                ..DilosConfig::default()
+            });
+            node.set_prefetcher(Box::new(Readahead::new()));
+            let g = wl.build(&mut node);
+            let guide = Rc::new(RefCell::new(GraphGuide::new(&g)));
+            node.set_prefetch_guide(guide.clone());
+            let (_, elapsed) = wl.betweenness_hooked(&mut node, &g, 2, Some(&guide));
+            row.push(ms(elapsed));
+        }
+        report.row(row);
+    }
+    report.note("Paper: DiLOS up to 76 % faster on BC at 12.5 %; Fastswap can win PR at 50–100 % (OSv sync overhead).");
+    report.note(
+        "The app-aware BC row is this reproduction's extension: the guide API on CSR traversal.",
+    );
+    report
+}

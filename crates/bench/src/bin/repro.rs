@@ -1,0 +1,127 @@
+//! `repro` — regenerates every table and figure of the DiLOS paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--full] [--only <id>] [--out <dir>]
+//! ```
+//!
+//! Ids: fig01 fig02 fig06 tab01 tab02 fig07a fig07b fig07cd fig08 fig09
+//! fig10 tab04 fig12 ablation. Default writes reports to `results/` and
+//! prints them; `--full` runs larger (slower) configurations.
+
+use std::io::Write as _;
+
+use dilos_bench::ablation::{ablation_design_choices, ablation_transport, ablation_vector_length};
+use dilos_bench::apps_exp::{
+    fig07a_quicksort, fig07b_kmeans, fig07cd_snappy, fig08_dataframe, fig09_gapbs, SimpleScale,
+};
+use dilos_bench::micro::{
+    fig01_fastswap_breakdown, fig02_rdma_latency, fig06_latency_breakdown,
+    tab01_tab03_fault_counts, tab02_seq_throughput, MicroScale,
+};
+use dilos_bench::redis_exp::{fig10_redis, fig12_bandwidth, tab04_tail_latency, RedisScale};
+use dilos_bench::Report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+
+    let micro = if full {
+        MicroScale {
+            pages: 32_768,
+            ratio: 13,
+        }
+    } else {
+        MicroScale::default()
+    };
+    let simple = if full {
+        SimpleScale {
+            sort_elements: 1 << 21,
+            kmeans_points: 1 << 18,
+            snappy_bytes: 4 << 20,
+        }
+    } else {
+        SimpleScale::default()
+    };
+    let redis = if full {
+        RedisScale {
+            keys_4k: 2_048,
+            keys_64k: 128,
+            keys_mixed: 192,
+            lists: 128,
+            list_elements: 25_600,
+            queries: 2_000,
+        }
+    } else {
+        RedisScale::default()
+    };
+    let taxi_rows = if full { 60_000 } else { 16_000 };
+    let graph_scale = if full { 13 } else { 11 };
+    let fig12_keys = if full { 16_384 } else { 4_096 };
+
+    type Experiment = (&'static str, Box<dyn FnOnce() -> Report>);
+    let experiments: Vec<Experiment> = vec![
+        ("fig01", Box::new(move || fig01_fastswap_breakdown(micro))),
+        ("fig02", Box::new(fig02_rdma_latency)),
+        ("tab01", Box::new(move || tab01_tab03_fault_counts(micro))),
+        ("tab02", Box::new(move || tab02_seq_throughput(micro))),
+        ("fig06", Box::new(move || fig06_latency_breakdown(micro))),
+        ("fig07a", Box::new(move || fig07a_quicksort(simple))),
+        ("fig07b", Box::new(move || fig07b_kmeans(simple))),
+        ("fig07cd", Box::new(move || fig07cd_snappy(simple))),
+        ("fig08", Box::new(move || fig08_dataframe(taxi_rows))),
+        ("fig09", Box::new(move || fig09_gapbs(graph_scale))),
+        ("fig10", Box::new(move || fig10_redis(redis))),
+        ("tab04", Box::new(move || tab04_tail_latency(redis))),
+        (
+            "fig12",
+            Box::new(move || fig12_bandwidth(fig12_keys, 2_000)),
+        ),
+        (
+            "ablation",
+            Box::new(move || {
+                let mut a = ablation_design_choices(micro.pages);
+                for extra in [ablation_vector_length(256), ablation_transport(micro.pages)] {
+                    a.notes.push(String::new());
+                    a.notes.extend(extra.render().lines().map(String::from));
+                }
+                a
+            }),
+        ),
+    ];
+
+    let mut combined = String::new();
+    for (id, run) in experiments {
+        if let Some(o) = &only {
+            if o != id {
+                continue;
+            }
+        }
+        eprintln!("[repro] running {id} …");
+        let t0 = std::time::Instant::now();
+        let report = run();
+        let rendered = report.render();
+        eprintln!("[repro] {id} done in {:.1?}", t0.elapsed());
+        println!("{rendered}");
+        combined.push_str(&rendered);
+        combined.push('\n');
+        let path = format!("{out_dir}/{id}.md");
+        std::fs::write(&path, &rendered).expect("write report");
+    }
+    let mut f = std::fs::File::create(format!("{out_dir}/all.md")).expect("create all.md");
+    f.write_all(combined.as_bytes()).expect("write all.md");
+    eprintln!("[repro] reports written to {out_dir}/");
+}

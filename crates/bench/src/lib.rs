@@ -1,0 +1,15 @@
+//! `dilos-bench` — the harness that regenerates every table and figure of
+//! the DiLOS paper.
+//!
+//! Each experiment is a library function returning a [`table::Report`], so
+//! the Criterion benches (`benches/`) and the `repro` binary share one
+//! implementation. The experiment ↔ paper mapping lives in DESIGN.md; the
+//! measured-vs-paper comparison in EXPERIMENTS.md.
+
+pub mod ablation;
+pub mod apps_exp;
+pub mod micro;
+pub mod redis_exp;
+pub mod table;
+
+pub use table::Report;

@@ -1,0 +1,45 @@
+//! `dilos-core` — the DiLOS paging subsystem (the paper's contribution).
+//!
+//! DiLOS ("Do Not Trade Compatibility for Performance in Memory
+//! Disaggregation", EuroSys '23) is a library-OS paging subsystem that makes
+//! kernel-paging-style memory disaggregation fast without giving up POSIX
+//! compatibility. Its pieces, all implemented here:
+//!
+//! - [`pt`] — the **unified page table** (§4.1): one hardware-format table
+//!   encoding local/remote/fetching/action states in PTE tag bits, replacing
+//!   the Linux swap cache entirely.
+//! - [`node`] — the compute node tying everything together: the short-path
+//!   **page fault handler** (§4.2), demand-fetch window scheduling, and the
+//!   `ddc_malloc`/`mmap(MAP_DDC)` memory API.
+//! - [`prefetch`] — the **page prefetcher** (§4.3): readahead and Leap-style
+//!   trend prefetchers plus the PTE **hit tracker** that replaces swap-cache
+//!   statistics.
+//! - [`pagemgr`] — the **page manager** (§4.4): resident ring, clock
+//!   eviction, watermarks for eager background reclamation.
+//! - [`guide`] — the **app-aware guide API** (§4.1/§4.3/§4.4): prefetch
+//!   guides with subpage fetches, paging guides, action PTE vectors, and the
+//!   allocator-bitmap paging guide.
+//! - [`compat`] — the **compatibility layer** (§5): DDC API surface and the
+//!   ELF symbol patcher model.
+//! - [`frames`], [`stats`] — the local frame cache and measurement hooks.
+//!
+//! The node runs against the `dilos-sim` virtual-time substrate, so every
+//! latency it reports is deterministic and calibrated to the paper's
+//! testbed. See the workspace DESIGN.md for the substitution ledger.
+
+pub mod compat;
+pub mod frames;
+pub mod guide;
+pub mod node;
+pub mod pagemgr;
+pub mod prefetch;
+pub mod pt;
+pub mod stats;
+
+pub use compat::{PatchReport, SymbolKind, SymbolPatcher, SymbolTable, MAP_DDC};
+pub use guide::{ActionTable, FetchVector, GuideOps, HeapPagingGuide, PagingGuide, PrefetchGuide};
+pub use node::{Dilos, DilosConfig, SoftCosts, DDC_BASE, LOCAL_BASE};
+pub use pagemgr::{ResidentRing, Watermarks};
+pub use prefetch::{HitTracker, NoPrefetch, Prefetcher, Readahead, TrendBased};
+pub use pt::{PageTable, Pte};
+pub use stats::{DilosStats, FaultBreakdown};

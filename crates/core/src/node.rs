@@ -1,0 +1,1185 @@
+//! The DiLOS compute node: fault handler, page manager, and access path.
+//!
+//! This is the system §4 describes, assembled: an application address space
+//! whose DDC range is backed by a local frame cache plus a remote memory
+//! node, with
+//!
+//! - a **page fault handler** (§4.2) that checks exactly one data structure
+//!   (the unified page table) before posting the demand RDMA read,
+//! - a **prefetcher** (§4.3) whose decisions and hit-tracker sweeps run
+//!   inside the demand fetch's 2–3 µs window,
+//! - a **page manager** (§4.4) that keeps free frames above a watermark by
+//!   evicting in the background, so reclamation never blocks the handler,
+//! - a **communication module** (§4.5) with per-core, per-module queue
+//!   pairs (realized as [`ServiceClass`]-keyed QPs in the fabric), and
+//! - the **guide API** (§4.1/§4.3/§4.4) with subpage fetches and action
+//!   PTEs.
+//!
+//! Prefetched pages are *not* mapped until their fetch completes: the PTE
+//! holds the `fetching` tag, and a touch before completion is DiLOS's minor
+//! fault — a hardware exception that only waits, never re-fetches. A touch
+//! after completion sees a mapped page and pays nothing, which is exactly
+//! why Table 3 shows fewer minor faults than Fastswap's swap cache.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dilos_sim::{CoreClock, Ns, RdmaEndpoint, Segment, ServiceClass, SimConfig, PAGE_SIZE};
+
+use crate::compat::MAP_DDC;
+use crate::frames::FrameArena;
+use crate::guide::{ActionTable, GuideOps, PagingGuide, PrefetchGuide};
+use crate::pagemgr::{ResidentRing, Watermarks};
+use crate::prefetch::{HitTracker, NoPrefetch, Prefetcher};
+use crate::pt::{PageTable, Pte};
+use crate::stats::DilosStats;
+
+use dilos_alloc::PageLiveness;
+
+/// Base virtual address of the disaggregated (DDC) region.
+pub const DDC_BASE: u64 = 0x1000_0000_0000;
+/// Base virtual address of the local-only region (`mmap` without `MAP_DDC`).
+pub const LOCAL_BASE: u64 = 0x2000_0000_0000;
+
+const DDC_BASE_VPN: u64 = DDC_BASE >> 12;
+
+/// Software-path costs of the DiLOS handler, in virtual nanoseconds.
+///
+/// These are the *short* paths the paper claims: the handler touches one
+/// data structure before the RDMA post. Fastswap's far larger equivalents
+/// live in `dilos-baselines`.
+#[derive(Debug, Clone)]
+pub struct SoftCosts {
+    /// Unified-page-table check in the fault handler.
+    pub pte_check_ns: Ns,
+    /// Mapping a fetched page (PTE write + ring insert).
+    pub map_ns: Ns,
+    /// Zero-filling a first-touch page.
+    pub zero_fill_ns: Ns,
+    /// Hit-tracker cost per PTE scanned (hidden in the fetch window).
+    pub tracker_per_pte_ns: Ns,
+    /// Issuing one asynchronous prefetch (hidden in the fetch window).
+    pub prefetch_issue_ns: Ns,
+    /// Reclaimer cost per page scanned (background thread).
+    pub reclaim_scan_ns: Ns,
+    /// Hardware page-table walk on a TLB miss to a resident page.
+    pub tlb_miss_walk_ns: Ns,
+    /// Swap-cache management cost per fault (only in the `swap_cache_mode`
+    /// ablation, mirroring the Linux path DiLOS removed).
+    pub swapcache_mgmt_ns: Ns,
+    /// Minor-fault service from the swap cache (ablation only).
+    pub swapcache_minor_ns: Ns,
+    /// Local DRAM copy cost per byte.
+    pub dram_per_byte_ns: f64,
+}
+
+impl Default for SoftCosts {
+    fn default() -> Self {
+        Self {
+            pte_check_ns: 100,
+            map_ns: 150,
+            zero_fill_ns: 350,
+            tracker_per_pte_ns: 15,
+            prefetch_issue_ns: 60,
+            reclaim_scan_ns: 150,
+            tlb_miss_walk_ns: 30,
+            swapcache_mgmt_ns: 900,
+            swapcache_minor_ns: 800,
+            dram_per_byte_ns: 0.05,
+        }
+    }
+}
+
+/// DiLOS node configuration.
+#[derive(Debug, Clone)]
+pub struct DilosConfig {
+    /// Local DRAM cache size in 4 KiB frames.
+    pub local_pages: usize,
+    /// Registered remote region size in bytes.
+    pub remote_bytes: u64,
+    /// Simulated CPU cores.
+    pub cores: usize,
+    /// Fabric/latency calibration.
+    pub sim: SimConfig,
+    /// Handler software costs.
+    pub costs: SoftCosts,
+    /// Ablation: route every verb through one shared queue pair.
+    pub shared_queue: bool,
+    /// Ablation: emulate a Linux-style swap cache in front of the page
+    /// table (extra management cost + minor fault per prefetched page).
+    pub swap_cache_mode: bool,
+    /// Ablation: reclaim synchronously inside the fault handler instead of
+    /// in the background (the Fastswap behaviour).
+    pub direct_reclaim: bool,
+    /// Run the PTE hit tracker (feeds prefetcher feedback).
+    pub hit_tracker: bool,
+    /// Emulate TCP transport (+14,000 cycles per completion, §6.2).
+    pub tcp_mode: bool,
+    /// Memory nodes to stripe pages across (§5.1 future work; default 1,
+    /// the paper's configuration).
+    pub memory_nodes: usize,
+    /// Replication factor across the pool (1 = no replication).
+    pub replication: usize,
+    /// Carbink-style erasure coding `(k, m)` across the pool; overrides
+    /// `replication` when set (requires `memory_nodes ≥ k + m`).
+    pub erasure: Option<(usize, usize)>,
+}
+
+impl Default for DilosConfig {
+    fn default() -> Self {
+        Self {
+            local_pages: 1024,
+            remote_bytes: 1 << 32,
+            cores: 1,
+            sim: SimConfig::default(),
+            costs: SoftCosts::default(),
+            shared_queue: false,
+            swap_cache_mode: false,
+            direct_reclaim: false,
+            hit_tracker: true,
+            tcp_mode: false,
+            memory_nodes: 1,
+            replication: 1,
+            erasure: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InflightEntry {
+    frame: u32,
+    ready_at: Ns,
+    vpn: u64,
+    /// Set in the swap-cache ablation: first access pays a minor fault.
+    swap_cached: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    vpn: u64,
+    frame: u32,
+    generation: u64,
+    valid: bool,
+    dirty_marked: bool,
+}
+
+const TLB_WAYS: usize = 64;
+
+/// A DiLOS compute node.
+pub struct Dilos {
+    cfg: DilosConfig,
+    rdma: RdmaEndpoint,
+    pt: PageTable,
+    frames: FrameArena,
+    ring: ResidentRing,
+    wm: Watermarks,
+    prefetcher: Box<dyn Prefetcher>,
+    tracker: HitTracker,
+    actions: ActionTable,
+    inflight: Vec<Option<InflightEntry>>,
+    inflight_free: Vec<u32>,
+    paging_guide: Option<Rc<RefCell<dyn PagingGuide>>>,
+    prefetch_guide: Option<Rc<RefCell<dyn PrefetchGuide>>>,
+    clocks: Vec<CoreClock>,
+    tlb: Vec<[TlbEntry; TLB_WAYS]>,
+    /// Background reclaimer/cleaner CPU timeline.
+    bg: dilos_sim::Timeline,
+    /// Exact LRU over resident frames (the §4.4 "LRU list").
+    lru: dilos_sim::LruChain,
+    stats: DilosStats,
+    ddc_brk: u64,
+    local_pages_map: std::collections::HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    local_brk: u64,
+    prefetch_buf: Vec<u64>,
+    /// Optional major-fault trace for diagnostics (VPNs, in order).
+    fault_log: Option<Vec<u64>>,
+    /// Optional eviction trace: `(vpn, last_access, eviction_time)`.
+    evict_log: Option<Vec<(u64, Ns, Ns)>>,
+}
+
+impl std::fmt::Debug for Dilos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dilos")
+            .field("local_pages", &self.cfg.local_pages)
+            .field("resident", &self.pt.resident())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Dilos {
+    /// Boots a node: registers the remote region and sizes the local cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no cores, no local pages).
+    pub fn new(cfg: DilosConfig) -> Self {
+        assert!(cfg.cores > 0, "at least one core");
+        assert!(
+            cfg.local_pages >= 16,
+            "local cache below 16 pages cannot hold the prefetch window"
+        );
+        let mut rdma = match cfg.erasure {
+            Some((k, m)) => {
+                RdmaEndpoint::connect_ec(cfg.sim.clone(), cfg.remote_bytes, cfg.memory_nodes, k, m)
+            }
+            None => RdmaEndpoint::connect_cluster(
+                cfg.sim.clone(),
+                cfg.remote_bytes,
+                cfg.memory_nodes,
+                cfg.replication,
+            ),
+        };
+        rdma.set_shared_queue(cfg.shared_queue);
+        rdma.set_tcp_mode(cfg.tcp_mode);
+        let wm = Watermarks::for_cache(cfg.local_pages);
+        Self {
+            frames: FrameArena::new(cfg.local_pages),
+            rdma,
+            pt: PageTable::new(),
+            ring: ResidentRing::new(),
+            wm,
+            prefetcher: Box::new(NoPrefetch),
+            tracker: HitTracker::new(),
+            actions: ActionTable::new(),
+            inflight: Vec::new(),
+            inflight_free: Vec::new(),
+            paging_guide: None,
+            prefetch_guide: None,
+            clocks: vec![CoreClock::new(); cfg.cores],
+            tlb: vec![[TlbEntry::default(); TLB_WAYS]; cfg.cores],
+            bg: dilos_sim::Timeline::new(),
+            lru: dilos_sim::LruChain::new(),
+            stats: DilosStats::default(),
+            ddc_brk: DDC_BASE,
+            local_pages_map: std::collections::HashMap::new(),
+            local_brk: LOCAL_BASE,
+            cfg,
+            prefetch_buf: Vec::new(),
+            fault_log: None,
+            evict_log: None,
+        }
+    }
+
+    /// Installs a general-purpose prefetcher.
+    pub fn set_prefetcher(&mut self, p: Box<dyn Prefetcher>) {
+        self.prefetcher = p;
+    }
+
+    /// Name of the active prefetcher.
+    pub fn prefetcher_name(&self) -> &'static str {
+        if self.prefetch_guide.is_some() {
+            "app-aware"
+        } else {
+            self.prefetcher.name()
+        }
+    }
+
+    /// Installs an app-aware prefetch guide (§4.3).
+    pub fn set_prefetch_guide(&mut self, g: Rc<RefCell<dyn PrefetchGuide>>) {
+        self.prefetch_guide = Some(g);
+    }
+
+    /// Installs an app-aware paging guide (§4.4).
+    pub fn set_paging_guide(&mut self, g: Rc<RefCell<dyn PagingGuide>>) {
+        self.paging_guide = Some(g);
+    }
+
+    /// Enables major-fault tracing (diagnostics).
+    pub fn enable_fault_log(&mut self) {
+        self.fault_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded major-fault VPN trace.
+    pub fn take_fault_log(&mut self) -> Vec<u64> {
+        self.fault_log.take().unwrap_or_default()
+    }
+
+    /// Enables eviction tracing (diagnostics).
+    pub fn enable_evict_log(&mut self) {
+        self.evict_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded eviction trace: `(vpn, last_access, when)`.
+    pub fn take_evict_log(&mut self) -> Vec<(u64, Ns, Ns)> {
+        self.evict_log.take().unwrap_or_default()
+    }
+
+    /// Node statistics.
+    pub fn stats(&self) -> &DilosStats {
+        &self.stats
+    }
+
+    /// The RDMA endpoint (bandwidth series, op counters).
+    pub fn rdma(&self) -> &RdmaEndpoint {
+        &self.rdma
+    }
+
+    /// Kills memory node `i` (failure injection). With replication, reads
+    /// transparently fail over; without it, fetches of lost pages panic —
+    /// the unikernel's fate on unrecoverable data loss.
+    pub fn fail_memory_node(&mut self, i: usize) {
+        self.rdma.fail_node(i);
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &DilosConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time on `core`.
+    pub fn now(&self, core: usize) -> Ns {
+        self.clocks[core].now()
+    }
+
+    /// Charges `ns` of application compute to `core`.
+    pub fn compute(&mut self, core: usize, ns: Ns) {
+        self.clocks[core].advance(ns);
+    }
+
+    /// Synchronizes all cores (fork/join barrier); returns the join time.
+    pub fn barrier(&mut self) -> Ns {
+        let t = self.clocks.iter().map(CoreClock::now).max().unwrap_or(0);
+        for c in &mut self.clocks {
+            c.wait_until(t);
+        }
+        t
+    }
+
+    /// Completion time across all cores.
+    pub fn max_now(&self) -> Ns {
+        self.clocks.iter().map(CoreClock::now).max().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management API (the compat layer's targets).
+    // ------------------------------------------------------------------
+
+    /// Allocates `len` bytes of disaggregated memory (`ddc_malloc`).
+    ///
+    /// Pages are zero-fill-on-first-touch; nothing is fetched until the
+    /// application touches them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DDC region (the registered remote size) is exhausted.
+    pub fn ddc_alloc(&mut self, len: usize) -> u64 {
+        let va = self.ddc_brk;
+        let len = (len.max(1) + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
+        self.ddc_brk += len as u64;
+        assert!(
+            self.ddc_brk - DDC_BASE <= self.cfg.remote_bytes,
+            "DDC region exhausted: grow DilosConfig::remote_bytes"
+        );
+        va
+    }
+
+    /// Frees `len` bytes at `va` (`ddc_free`): unmaps pages, releasing local
+    /// frames and any in-flight or action state.
+    pub fn ddc_free(&mut self, va: u64, len: usize) {
+        let start = va >> 12;
+        let end = (va + len as u64 + PAGE_SIZE as u64 - 1) >> 12;
+        for vpn in start..end {
+            match self.pt.get(vpn) {
+                Pte::Local { frame, .. } => {
+                    let slot = self.frames.meta(frame).ring_slot;
+                    self.lru.remove(frame as u64);
+                    self.unlink_ring(slot);
+                    self.frames.push_free(frame, 0);
+                }
+                Pte::Fetching { inflight } => {
+                    let e = self.inflight[inflight as usize]
+                        .take()
+                        .expect("fetching PTE has an in-flight entry");
+                    self.inflight_free.push(inflight);
+                    // The frame may be reused once the fetch has landed.
+                    self.frames.push_free(e.frame, e.ready_at);
+                }
+                Pte::Action { action } => {
+                    let _ = self.actions.take(action);
+                }
+                Pte::Remote { .. } | Pte::None => {}
+            }
+            self.pt.set(vpn, Pte::None);
+        }
+    }
+
+    /// `mmap`: with [`MAP_DDC`] the mapping is disaggregated; without it the
+    /// mapping is local-only (never migrated to the memory node).
+    pub fn mmap(&mut self, len: usize, flags: u32) -> u64 {
+        if flags & MAP_DDC != 0 {
+            self.ddc_alloc(len)
+        } else {
+            let va = self.local_brk;
+            let len = (len.max(1) + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
+            self.local_brk += len as u64;
+            va
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Access path.
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes at `va` on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on access outside any mapping (the LibOS equivalent of a
+    /// segmentation fault).
+    pub fn read(&mut self, core: usize, va: u64, buf: &mut [u8]) {
+        if va >= LOCAL_BASE {
+            self.local_read(core, va, buf);
+            return;
+        }
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let a = va + done as u64;
+            let vpn = a >> 12;
+            let off = (a & 0xFFF) as usize;
+            let n = (PAGE_SIZE - off).min(len - done);
+            let frame = self.touch(core, vpn, false);
+            buf[done..done + n].copy_from_slice(&self.frames.bytes(frame)[off..off + n]);
+            self.charge_copy(core, n);
+            done += n;
+        }
+    }
+
+    /// Writes `buf` at `va` on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on access outside any mapping.
+    pub fn write(&mut self, core: usize, va: u64, buf: &[u8]) {
+        self.access_write(core, va, buf);
+    }
+
+    /// Reads a little-endian `u64` at `va`.
+    pub fn read_u64(&mut self, core: usize, va: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(core, va, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `va`.
+    pub fn write_u64(&mut self, core: usize, va: u64, v: u64) {
+        self.write(core, va, &v.to_le_bytes());
+    }
+
+    fn access_write(&mut self, core: usize, va: u64, buf: &[u8]) {
+        if va >= LOCAL_BASE {
+            self.local_write(core, va, buf);
+            return;
+        }
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let a = va + done as u64;
+            let vpn = a >> 12;
+            let off = (a & 0xFFF) as usize;
+            let n = (PAGE_SIZE - off).min(len - done);
+            let frame = self.touch(core, vpn, true);
+            self.frames.bytes_mut(frame)[off..off + n].copy_from_slice(&buf[done..done + n]);
+            self.charge_copy(core, n);
+            done += n;
+        }
+    }
+
+    fn charge_copy(&mut self, core: usize, bytes: usize) {
+        let ns =
+            self.cfg.sim.local_access_ns + (bytes as f64 * self.cfg.costs.dram_per_byte_ns) as Ns;
+        self.clocks[core].advance(ns);
+    }
+
+    fn local_read(&mut self, core: usize, va: u64, buf: &mut [u8]) {
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let a = va + done as u64;
+            let vpn = a >> 12;
+            let off = (a & 0xFFF) as usize;
+            let n = (PAGE_SIZE - off).min(len - done);
+            let page = self
+                .local_pages_map
+                .entry(vpn)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            buf[done..done + n].copy_from_slice(&page[off..off + n]);
+            done += n;
+        }
+        self.charge_copy(core, len);
+    }
+
+    fn local_write(&mut self, core: usize, va: u64, buf: &[u8]) {
+        let len = buf.len();
+        let mut done = 0usize;
+        while done < len {
+            let a = va + done as u64;
+            let vpn = a >> 12;
+            let off = (a & 0xFFF) as usize;
+            let n = (PAGE_SIZE - off).min(len - done);
+            let page = self
+                .local_pages_map
+                .entry(vpn)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+        }
+        self.charge_copy(core, len);
+    }
+
+    /// Resolves `vpn` to a resident frame, faulting as needed, and marks the
+    /// access (A/D bits) — the software MMU.
+    fn touch(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
+        // TLB fast path. The way index is hashed so that arrays laid out at
+        // power-of-two strides (columnar tables) don't alias pathologically.
+        let way = ((vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 52) as usize % TLB_WAYS;
+        let gen = self.pt.generation();
+        let e = self.tlb[core][way];
+        if e.valid && e.vpn == vpn && e.generation == gen {
+            if is_write && !e.dirty_marked {
+                self.pt.mark_access(vpn, true);
+                self.tlb[core][way].dirty_marked = true;
+            }
+            self.stats.local_hits += 1;
+            self.frames.meta_mut(e.frame).last_access = self.clocks[core].now();
+            self.lru.touch(e.frame as u64);
+            return e.frame;
+        }
+        let frame = self.resolve(core, vpn, is_write);
+        self.frames.meta_mut(frame).last_access = self.clocks[core].now();
+        self.lru.touch(frame as u64);
+        let gen = self.pt.generation();
+        self.tlb[core][way] = TlbEntry {
+            vpn,
+            frame,
+            generation: gen,
+            valid: true,
+            dirty_marked: is_write,
+        };
+        frame
+    }
+
+    /// Page-table walk plus fault handling (slow path).
+    fn resolve(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
+        assert!(
+            vpn >= DDC_BASE_VPN && ((vpn - DDC_BASE_VPN) << 12) < self.cfg.remote_bytes,
+            "segmentation fault: access to unmapped VA {:#x}",
+            vpn << 12
+        );
+        match self.pt.get(vpn) {
+            Pte::Local { frame, .. } => {
+                // TLB miss to a resident page: hardware walk only.
+                self.clocks[core].advance(self.cfg.costs.tlb_miss_walk_ns);
+                let ready = self.frames.meta(frame).ready_at;
+                let now = self.clocks[core].now();
+                if ready > now {
+                    // Mapped but the payload is still on the wire: stall.
+                    self.clocks[core].wait_until(ready);
+                }
+                self.pt.mark_access(vpn, is_write);
+                self.stats.local_hits += 1;
+                frame
+            }
+            Pte::Fetching { inflight } => self.fault_on_inflight(core, vpn, inflight, is_write),
+            Pte::None => self.fault_zero_fill(core, vpn, is_write),
+            Pte::Remote { .. } => self.fault_remote(core, vpn, is_write, None),
+            Pte::Action { action } => {
+                let vector = self.actions.take(action);
+                self.fault_remote(core, vpn, is_write, Some(vector))
+            }
+        }
+    }
+
+    /// A fault on a page whose (pre)fetch is in flight.
+    ///
+    /// If the fetch already completed, the completion handler has mapped the
+    /// page in the past: no fault is charged. Otherwise this is DiLOS's
+    /// minor fault — exception, wait, map.
+    fn fault_on_inflight(&mut self, core: usize, vpn: u64, idx: u32, is_write: bool) -> u32 {
+        let entry = self.inflight[idx as usize]
+            .take()
+            .expect("fetching PTE has an in-flight entry");
+        self.inflight_free.push(idx);
+        let now = self.clocks[core].now();
+        let costs = self.cfg.costs.clone();
+        if entry.ready_at <= now {
+            // Completed in the past; mapping it cost the completion path,
+            // not this access.
+            self.map_page(vpn, entry.frame, 0);
+            self.pt.mark_access(vpn, is_write);
+            self.stats.local_hits += 1;
+            self.clocks[core].advance(costs.tlb_miss_walk_ns);
+            return entry.frame;
+        }
+        // Minor fault: pay the exception, wait out the fetch, map.
+        self.stats.minor_faults += 1;
+        let mut t = now + self.cfg.sim.hw_exception_ns + costs.pte_check_ns;
+        if entry.swap_cached {
+            t += costs.swapcache_minor_ns;
+        }
+        t = t.max(entry.ready_at) + costs.map_ns;
+        self.clocks[core].wait_until(t);
+        self.map_page(vpn, entry.frame, 0);
+        self.pt.mark_access(vpn, is_write);
+        entry.frame
+    }
+
+    /// First touch of a DDC page: zero-fill, no network.
+    fn fault_zero_fill(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
+        let now = self.clocks[core].now();
+        let t = now + self.cfg.sim.hw_exception_ns + self.cfg.costs.pte_check_ns;
+        let (frame, t_alloc, reclaim_ns) = self.alloc_frame(core, t);
+        self.frames.bytes_mut(frame).fill(0);
+        let t_done = t_alloc + self.cfg.costs.zero_fill_ns + self.cfg.costs.map_ns + reclaim_ns;
+        self.clocks[core].wait_until(t_done);
+        self.stats.zero_fills += 1;
+        self.map_page(vpn, frame, 0);
+        self.pt.mark_access(vpn, is_write);
+        frame
+    }
+
+    /// A major fault: demand-fetch the page (whole or via an action vector).
+    fn fault_remote(
+        &mut self,
+        core: usize,
+        vpn: u64,
+        is_write: bool,
+        vector: Option<Vec<(u16, u16)>>,
+    ) -> u32 {
+        let now = self.clocks[core].now();
+        let hw = self.cfg.sim.hw_exception_ns;
+        let costs = self.cfg.costs.clone();
+        let mut t = now + hw + costs.pte_check_ns;
+        if self.cfg.swap_cache_mode {
+            t += costs.swapcache_mgmt_ns;
+        }
+        // Transition through the `fetching` tag, exactly as §4.2 describes
+        // (other cores reading the PTE would wait instead of re-fetching).
+        self.pt.set(vpn, Pte::Fetching { inflight: u32::MAX });
+        let (frame, t_alloc, reclaim_ns) = self.alloc_frame(core, t);
+        let remote = (vpn - DDC_BASE_VPN) << 12;
+
+        let done = match &vector {
+            None => {
+                let mut page = [0u8; PAGE_SIZE];
+                let done = self
+                    .rdma
+                    .read(t_alloc, core, ServiceClass::Fault, remote, &mut page)
+                    .expect("demand fetch failed: address out of region or all replicas down");
+                self.frames.bytes_mut(frame).copy_from_slice(&page);
+                done
+            }
+            Some(v) if v.is_empty() => {
+                // Guided fetch of a fully-dead page: nothing on the wire.
+                self.frames.bytes_mut(frame).fill(0);
+                self.stats.guided_fetches += 1;
+                self.stats.fetch_bytes_saved += PAGE_SIZE as u64;
+                t_alloc + costs.zero_fill_ns
+            }
+            Some(v) => {
+                let segs: Vec<Segment> = v
+                    .iter()
+                    .map(|&(o, l)| Segment {
+                        remote: remote + o as u64,
+                        offset: o as usize,
+                        len: l as usize,
+                    })
+                    .collect();
+                let mut page = [0u8; PAGE_SIZE];
+                let done = self
+                    .rdma
+                    .read_v(t_alloc, core, ServiceClass::Fault, &segs, &mut page)
+                    .expect("guided fetch failed: address out of region or all replicas down");
+                let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
+                self.stats.guided_fetches += 1;
+                self.stats.fetch_bytes_saved += (PAGE_SIZE - live) as u64;
+                self.frames.bytes_mut(frame).copy_from_slice(&page);
+                done
+            }
+        };
+
+        // Hidden-window work: hit-tracker sweep + prefetch decision/issue,
+        // plus the app-aware guide. All of it runs while the demand fetch is
+        // on the wire; only overflow beyond the window costs latency.
+        let hidden_done = self.fetch_window_work(core, vpn, t_alloc);
+
+        let t_ready = done.max(hidden_done) + reclaim_ns;
+        self.clocks[core].wait_until(t_ready + costs.map_ns);
+        self.stats.major_faults += 1;
+        if let Some(log) = &mut self.fault_log {
+            log.push(vpn);
+        }
+        let b = &mut self.stats.breakdown;
+        b.exception += hw;
+        b.check += costs.pte_check_ns
+            + if self.cfg.swap_cache_mode {
+                costs.swapcache_mgmt_ns
+            } else {
+                0
+            };
+        b.alloc_wait += t_alloc - t;
+        b.fetch += t_ready - t_alloc;
+        b.map += costs.map_ns;
+        b.reclaim += reclaim_ns;
+        b.count += 1;
+
+        self.map_page(vpn, frame, 0);
+        self.pt.mark_access(vpn, is_write);
+        frame
+    }
+
+    /// Runs the tracker sweep, the prefetcher, and the prefetch guide in the
+    /// demand-fetch window starting at `t0`; returns when that software
+    /// finishes (usually before the fetch completes).
+    fn fetch_window_work(&mut self, core: usize, vpn: u64, t0: Ns) -> Ns {
+        let costs = self.cfg.costs.clone();
+        let mut sw = t0;
+        if self.cfg.hit_tracker {
+            if let Some((hits, total)) = self.tracker.sweep_if_due(&self.pt) {
+                sw += total as Ns * costs.tracker_per_pte_ns;
+                self.prefetcher.feedback(hits, total);
+                self.stats.prefetch_hits += hits as u64;
+            }
+        }
+        // General-purpose prefetcher.
+        let mut targets = std::mem::take(&mut self.prefetch_buf);
+        targets.clear();
+        self.prefetcher.on_fault(vpn, &mut targets);
+        // `targets` is moved back into `prefetch_buf` below, so iterate a
+        // draining copy of the values rather than borrowing across the call.
+        for &target in targets.clone().iter() {
+            sw += costs.prefetch_issue_ns;
+            self.prefetch_vpn(core, target, sw);
+        }
+        self.prefetch_buf = targets;
+        // App-aware guide (its subpage reads ride the guide queue and are
+        // pipelined with the demand fetch).
+        if let Some(g) = self.prefetch_guide.clone() {
+            let va = vpn << 12;
+            let mut ops = NodeGuideOps {
+                node: self,
+                core,
+                now: sw,
+            };
+            g.borrow_mut().on_fault(va, &mut ops);
+            sw = sw.max(ops.now);
+        }
+        sw
+    }
+
+    /// Issues one asynchronous page prefetch at virtual time `t`.
+    ///
+    /// Skips pages that are resident, already in flight, never touched, or
+    /// when free frames are at the reserve watermark (prefetch must not
+    /// force eviction stalls).
+    fn prefetch_vpn(&mut self, core: usize, vpn: u64, t: Ns) {
+        if vpn < DDC_BASE_VPN || ((vpn - DDC_BASE_VPN) << 12) >= self.cfg.remote_bytes {
+            return;
+        }
+        let vector = match self.pt.get(vpn) {
+            Pte::Remote { .. } => None,
+            Pte::Action { action } => Some(self.actions.take(action)),
+            _ => return,
+        };
+        let Some(frame) = self.try_alloc_prefetch_frame(t) else {
+            // Out of reserve: put an action vector back if we took one.
+            if let Some(v) = vector {
+                let idx = self.actions.insert(v);
+                self.pt.set(vpn, Pte::Action { action: idx });
+            }
+            return;
+        };
+        let remote = (vpn - DDC_BASE_VPN) << 12;
+        let ready_at = match &vector {
+            None => {
+                let mut page = [0u8; PAGE_SIZE];
+                let done = self
+                    .rdma
+                    .read(t, core, ServiceClass::Prefetch, remote, &mut page)
+                    .expect("prefetch failed: all replicas of the page are down");
+                self.frames.bytes_mut(frame).copy_from_slice(&page);
+                done
+            }
+            Some(v) if v.is_empty() => {
+                self.frames.bytes_mut(frame).fill(0);
+                self.stats.guided_fetches += 1;
+                self.stats.fetch_bytes_saved += PAGE_SIZE as u64;
+                t
+            }
+            Some(v) => {
+                let segs: Vec<Segment> = v
+                    .iter()
+                    .map(|&(o, l)| Segment {
+                        remote: remote + o as u64,
+                        offset: o as usize,
+                        len: l as usize,
+                    })
+                    .collect();
+                let mut page = [0u8; PAGE_SIZE];
+                let done = self
+                    .rdma
+                    .read_v(t, core, ServiceClass::Prefetch, &segs, &mut page)
+                    .expect("guided prefetch failed: all replicas of the page are down");
+                let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
+                self.stats.guided_fetches += 1;
+                self.stats.fetch_bytes_saved += (PAGE_SIZE - live) as u64;
+                self.frames.bytes_mut(frame).copy_from_slice(&page);
+                done
+            }
+        };
+        let idx = match self.inflight_free.pop() {
+            Some(i) => i,
+            None => {
+                self.inflight.push(None);
+                (self.inflight.len() - 1) as u32
+            }
+        };
+        self.inflight[idx as usize] = Some(InflightEntry {
+            frame,
+            ready_at,
+            vpn,
+            swap_cached: self.cfg.swap_cache_mode,
+        });
+        self.pt.set(vpn, Pte::Fetching { inflight: idx });
+        self.stats.prefetch_issued += 1;
+        if self.cfg.hit_tracker {
+            self.tracker.track(vpn);
+        }
+    }
+
+    /// Claims a frame for a prefetch without ever stalling; `None` when the
+    /// free reserve is needed for demand faults.
+    fn try_alloc_prefetch_frame(&mut self, now: Ns) -> Option<u32> {
+        if self.cfg.direct_reclaim {
+            // Ablation: no background reclaimer exists; prefetch may only
+            // use frames that happen to be free already.
+            return self.frames.pop_free(now);
+        }
+        if self.frames.free_count() <= self.wm.low {
+            self.bg_reclaim(now);
+        }
+        if self.frames.free_count() <= self.wm.low / 2 + 1 {
+            return None;
+        }
+        self.frames.pop_free(now)
+    }
+
+    /// Claims a frame for a demand fault at time `t`, waiting if necessary.
+    ///
+    /// Returns `(frame, time_frame_held, direct_reclaim_ns)`. With eager
+    /// background eviction the wait is almost always zero; the
+    /// `direct_reclaim` ablation instead charges the reclaim to the handler.
+    fn alloc_frame(&mut self, _core: usize, t: Ns) -> (u32, Ns, Ns) {
+        if self.cfg.direct_reclaim {
+            // Fastswap-style: reclaim inside the handler when low.
+            let mut reclaim_ns = 0;
+            if self.frames.free_count() == 0 {
+                reclaim_ns = self.direct_reclaim_one(t);
+            }
+            let mut now = t;
+            loop {
+                if let Some(f) = self.frames.pop_free(now) {
+                    return (f, now, reclaim_ns);
+                }
+                match self.frames.earliest_available() {
+                    Some(avail) => now = now.max(avail),
+                    None => {
+                        reclaim_ns += self.direct_reclaim_one(now);
+                    }
+                }
+            }
+        }
+        let mut now = t;
+        let mut spins = 0u32;
+        loop {
+            if self.frames.free_count() <= self.wm.low {
+                self.bg_reclaim(now);
+            }
+            if let Some(f) = self.frames.pop_free(now) {
+                return (f, now, 0);
+            }
+            match self.frames.earliest_available() {
+                Some(avail) if avail > now => now = avail,
+                _ => {
+                    // Free list truly empty: the background reclaimer must
+                    // produce a frame; wait for its next completion.
+                    self.bg_reclaim(now);
+                    if self.frames.free_count() == 0 {
+                        now = now.max(self.bg.busy_until()) + 1;
+                    }
+                }
+            }
+            spins += 1;
+            assert!(
+                spins < 100_000,
+                "local cache thrashing: no frame became reclaimable \
+                 (local_pages={} resident={})",
+                self.cfg.local_pages,
+                self.pt.resident()
+            );
+        }
+    }
+
+    /// Maps `vpn` to `frame` as a local page and inserts it in the ring.
+    fn map_page(&mut self, vpn: u64, frame: u32, ready_at: Ns) {
+        self.lru.insert(frame as u64);
+        let slot = self.ring.push(vpn);
+        let m = self.frames.meta_mut(frame);
+        m.vpn = vpn;
+        m.ready_at = ready_at;
+        m.ring_slot = slot;
+        self.pt.set(
+            vpn,
+            Pte::Local {
+                frame,
+                accessed: false,
+                dirty: false,
+            },
+        );
+    }
+
+    /// Removes the ring entry at `slot`, fixing up the moved page's frame.
+    fn unlink_ring(&mut self, slot: usize) {
+        if let Some(moved_vpn) = self.ring.remove(slot) {
+            if let Pte::Local { frame, .. } = self.pt.get(moved_vpn) {
+                self.frames.meta_mut(frame).ring_slot = slot;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Background cleaner + reclaimer (§4.4).
+    // ------------------------------------------------------------------
+
+    /// Refills the free list to the high watermark on the background thread.
+    ///
+    /// The clock hand gives accessed pages a second chance; dirty victims
+    /// are written back (whole page, or only live chunks under a paging
+    /// guide) before their frame is recycled.
+    fn bg_reclaim(&mut self, now: Ns) {
+        // Completion handling first: prefetched pages whose fetch has landed
+        // are "mapped into the unified page table immediately" (§4.3). This
+        // also makes never-touched prefetches visible to the reclaimer —
+        // otherwise they would pin their frames forever.
+        self.finalize_inflight(now);
+        let target = self.wm.high;
+        let mut guard = 2 * self.ring.len() + 8;
+        while self.frames.free_count() < target && guard > 0 {
+            guard -= 1;
+            let Some((slot, vpn, frame, dirty, scan_end)) = self.pick_victim(now) else {
+                break;
+            };
+            let _ = self.evict(vpn, frame, slot, dirty, scan_end, ServiceClass::Cleaner);
+        }
+    }
+
+    /// Maps every completed in-flight (pre)fetch into the page table.
+    fn finalize_inflight(&mut self, now: Ns) {
+        for idx in 0..self.inflight.len() {
+            let Some(e) = self.inflight[idx] else {
+                continue;
+            };
+            if e.ready_at > now {
+                continue;
+            }
+            self.inflight[idx] = None;
+            self.inflight_free.push(idx as u32);
+            self.map_page(e.vpn, e.frame, 0);
+        }
+    }
+
+    /// Chooses the eviction victim: the least-recently-used resident frame
+    /// whose payload is not in flight (§4.4's LRU list, exactly).
+    fn pick_victim(&mut self, now: Ns) -> Option<(usize, u64, u32, bool, Ns)> {
+        let mut chosen: Option<u32> = None;
+        let mut scan_end = now;
+        for (i, key) in self.lru.iter_cold().enumerate() {
+            if i >= 64 {
+                break; // Everything cold is in flight: give up this round.
+            }
+            let frame = key as u32;
+            let (_, t) = self.bg.acquire(now, self.cfg.costs.reclaim_scan_ns);
+            scan_end = t;
+            if self.frames.meta(frame).ready_at > scan_end {
+                continue; // In-flight payload: not evictable yet.
+            }
+            chosen = Some(frame);
+            break;
+        }
+        let frame = chosen?;
+        let m = self.frames.meta(frame);
+        let vpn = m.vpn;
+        let slot = m.ring_slot;
+        let Pte::Local { dirty, .. } = self.pt.get(vpn) else {
+            return None;
+        };
+        Some((slot, vpn, frame, dirty, scan_end))
+    }
+
+    /// Fastswap-ablation direct reclaim: evict one page synchronously,
+    /// returning the handler time consumed.
+    fn direct_reclaim_one(&mut self, now: Ns) -> Ns {
+        let bg0 = self.bg.busy_until().max(now);
+        if let Some((slot, vpn, frame, dirty, scan_end)) = self.pick_victim(now) {
+            // Direct reclaim runs in the handler: it pays the scan *and*
+            // waits for any writeback before the frame is reusable — the
+            // cost Fastswap's Figure 1 "reclaim" bar charges.
+            let avail = self.evict(vpn, frame, slot, dirty, scan_end, ServiceClass::Cleaner);
+            return avail
+                .max(scan_end)
+                .saturating_sub(bg0)
+                .max(self.cfg.costs.reclaim_scan_ns);
+        }
+        self.cfg.costs.reclaim_scan_ns
+    }
+
+    /// Evicts `vpn` (writing back if dirty), freeing its frame. Returns
+    /// when the frame becomes reusable (writeback completion).
+    fn evict(
+        &mut self,
+        vpn: u64,
+        frame: u32,
+        slot: usize,
+        dirty: bool,
+        t: Ns,
+        class: ServiceClass,
+    ) -> Ns {
+        if let Some(log) = &mut self.evict_log {
+            log.push((vpn, self.frames.meta(frame).last_access, t));
+        }
+        let remote = (vpn - DDC_BASE_VPN) << 12;
+        let liveness = self
+            .paging_guide
+            .as_ref()
+            .map(|g| g.borrow().live_ranges(vpn << 12));
+
+        let mut available_at = t;
+        let mut new_pte = Pte::Remote {
+            slot: vpn - DDC_BASE_VPN,
+        };
+
+        match liveness {
+            None | Some(PageLiveness::Full) => {
+                if dirty {
+                    let done = self
+                        .rdma
+                        .write(t, 0, class, remote, self.frames.bytes(frame))
+                        .expect("writeback failed: all replicas of the page are down");
+                    available_at = done;
+                    self.stats.writebacks += 1;
+                }
+            }
+            Some(PageLiveness::Empty) => {
+                // Nothing live: nothing to write, and the later fetch is a
+                // zero-fill. Log an empty vector.
+                if dirty {
+                    self.stats.writeback_bytes_saved += PAGE_SIZE as u64;
+                }
+                let idx = self.actions.insert(Vec::new());
+                new_pte = Pte::Action { action: idx };
+                self.stats.guided_evictions += 1;
+            }
+            Some(PageLiveness::Partial(ranges)) => {
+                let vector: Vec<(u16, u16)> =
+                    ranges.iter().map(|&(o, l)| (o as u16, l as u16)).collect();
+                if dirty {
+                    let segs: Vec<Segment> = ranges
+                        .iter()
+                        .map(|&(o, l)| Segment {
+                            remote: remote + o as u64,
+                            offset: o,
+                            len: l,
+                        })
+                        .collect();
+                    let done = self
+                        .rdma
+                        .write_v(t, 0, class, &segs, self.frames.bytes(frame))
+                        .expect("guided writeback failed: all replicas of the page are down");
+                    available_at = done;
+                    let live: usize = ranges.iter().map(|&(_, l)| l).sum();
+                    self.stats.writebacks += 1;
+                    self.stats.writeback_bytes_saved += (PAGE_SIZE - live) as u64;
+                }
+                let idx = self.actions.insert(vector);
+                new_pte = Pte::Action { action: idx };
+                self.stats.guided_evictions += 1;
+            }
+        }
+
+        self.lru.remove(frame as u64);
+        self.unlink_ring(slot);
+        self.pt.set(vpn, new_pte);
+        self.frames.push_free(frame, available_at);
+        self.stats.evictions += 1;
+        available_at
+    }
+
+    /// Page-table residency (for tests/diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pt.resident()
+    }
+
+    /// Raw PTE inspection (tests/diagnostics).
+    pub fn pte_of(&self, va: u64) -> Pte {
+        self.pt.get(va >> 12)
+    }
+}
+
+/// [`GuideOps`] implementation bridging guides to the node.
+struct NodeGuideOps<'a> {
+    node: &'a mut Dilos,
+    core: usize,
+    now: Ns,
+}
+
+impl GuideOps for NodeGuideOps<'_> {
+    fn subpage_read(&mut self, va: u64, len: usize) -> Option<(Vec<u8>, Ns)> {
+        let vpn = va >> 12;
+        if vpn < DDC_BASE_VPN || ((vpn - DDC_BASE_VPN) << 12) >= self.node.cfg.remote_bytes {
+            return None;
+        }
+        // Resident pages are read directly (no wire traffic).
+        if let Pte::Local { frame, .. } = self.node.pt.get(vpn) {
+            let off = (va & 0xFFF) as usize;
+            let n = len.min(PAGE_SIZE - off);
+            let data = self.node.frames.bytes(frame)[off..off + n].to_vec();
+            return Some((data, self.now));
+        }
+        // Subpage reads never cross the page boundary: with a sharded pool
+        // the next page may live on a different memory node.
+        let remote = va - DDC_BASE;
+        let off = (va & 0xFFF) as usize;
+        let mut data = vec![0u8; len.min(PAGE_SIZE - off)];
+        let done = self
+            .node
+            .rdma
+            .read(self.now, self.core, ServiceClass::Guide, remote, &mut data)
+            .ok()?;
+        self.node.stats.subpage_fetches += 1;
+        // The guide's decision logic runs when the subpage lands.
+        self.now = self.now.max(done);
+        Some((data, done))
+    }
+
+    fn prefetch_page(&mut self, va: u64) {
+        let t = self.now;
+        self.node.prefetch_vpn(self.core, va >> 12, t);
+    }
+
+    fn resident_read(&mut self, va: u64, buf: &mut [u8]) -> bool {
+        let vpn = va >> 12;
+        if let Pte::Local { frame, .. } = self.node.pt.get(vpn) {
+            let off = (va & 0xFFF) as usize;
+            if off + buf.len() <= PAGE_SIZE {
+                buf.copy_from_slice(&self.node.frames.bytes(frame)[off..off + buf.len()]);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn now(&self) -> Ns {
+        self.now
+    }
+}

@@ -1,0 +1,412 @@
+//! End-to-end behaviour of the DiLOS node: faulting, eviction, prefetching,
+//! guides, and the virtual-time accounting the evaluation relies on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dilos_alloc::Heap;
+use dilos_core::{
+    Dilos, DilosConfig, GuideOps, HeapPagingGuide, PrefetchGuide, Pte, Readahead, MAP_DDC,
+};
+
+const PAGE: usize = 4096;
+
+fn node(local_pages: usize) -> Dilos {
+    Dilos::new(DilosConfig {
+        local_pages,
+        remote_bytes: 1 << 28,
+        ..DilosConfig::default()
+    })
+}
+
+#[test]
+fn roundtrip_within_cache() {
+    let mut n = node(64);
+    let va = n.ddc_alloc(16 * PAGE);
+    let data: Vec<u8> = (0..16 * PAGE).map(|i| (i % 251) as u8).collect();
+    n.write(0, va, &data);
+    let mut out = vec![0u8; data.len()];
+    n.read(0, va, &mut out);
+    assert_eq!(out, data);
+    let s = n.stats();
+    assert_eq!(s.major_faults, 0, "working set fits: no remote fetches");
+    assert_eq!(s.zero_fills, 16, "one first-touch fault per page");
+}
+
+#[test]
+fn data_survives_eviction() {
+    // Working set 4× the local cache: pages must round-trip through the
+    // memory node intact.
+    let mut n = node(64);
+    let pages = 256usize;
+    let va = n.ddc_alloc(pages * PAGE);
+    for p in 0..pages {
+        let payload = [(p % 256) as u8; 64];
+        n.write(0, va + (p * PAGE) as u64 + 128, &payload);
+    }
+    for p in 0..pages {
+        let mut buf = [0u8; 64];
+        n.read(0, va + (p * PAGE) as u64 + 128, &mut buf);
+        assert!(
+            buf.iter().all(|&b| b == (p % 256) as u8),
+            "page {p} corrupt"
+        );
+    }
+    let s = n.stats();
+    assert!(s.evictions > 0, "pressure must evict");
+    assert!(s.writebacks > 0, "dirty pages must be written back");
+    assert!(s.major_faults > 0, "evicted pages must be re-fetched");
+    assert_eq!(s.zero_fills, pages as u64);
+}
+
+#[test]
+fn reclaim_stays_off_the_critical_path() {
+    // DiLOS's claim: background eager eviction keeps direct reclaim at zero.
+    let mut n = node(64);
+    let va = n.ddc_alloc(256 * PAGE);
+    for p in 0..256u64 {
+        n.write_u64(0, va + p * PAGE as u64, p);
+    }
+    for p in 0..256u64 {
+        let _ = n.read_u64(0, va + p * PAGE as u64);
+    }
+    let b = n.stats().breakdown;
+    assert!(b.count > 0);
+    assert_eq!(b.reclaim, 0, "no reclamation inside the fault handler");
+    // The paper's Figure 6: total DiLOS fault latency is ~3 µs.
+    let avg = b.avg_total();
+    assert!((2_000..4_500).contains(&avg), "avg fault {avg} ns");
+}
+
+#[test]
+fn direct_reclaim_ablation_moves_reclaim_into_the_handler() {
+    let mut n = Dilos::new(DilosConfig {
+        local_pages: 64,
+        remote_bytes: 1 << 28,
+        direct_reclaim: true,
+        ..DilosConfig::default()
+    });
+    let va = n.ddc_alloc(256 * PAGE);
+    for p in 0..256u64 {
+        n.write_u64(0, va + p * PAGE as u64, p);
+    }
+    for p in 0..256u64 {
+        let _ = n.read_u64(0, va + p * PAGE as u64);
+    }
+    let b = n.stats().breakdown;
+    assert!(b.reclaim > 0, "ablation charges reclaim to the handler");
+}
+
+#[test]
+fn readahead_cuts_major_faults_on_sequential_scan() {
+    let run = |prefetch: bool| {
+        let mut n = node(128);
+        if prefetch {
+            n.set_prefetcher(Box::new(Readahead::new()));
+        }
+        let pages = 512usize;
+        let va = n.ddc_alloc(pages * PAGE);
+        // Populate, evict, then scan sequentially.
+        for p in 0..pages as u64 {
+            n.write_u64(0, va + p * PAGE as u64, p);
+        }
+        for p in 0..pages as u64 {
+            assert_eq!(n.read_u64(0, va + p * PAGE as u64), p);
+        }
+        (*n.stats(), n.now(0))
+    };
+    let (no_pf, t_none) = run(false);
+    let (with_pf, t_ra) = run(true);
+    assert!(with_pf.prefetch_issued > 0);
+    assert!(
+        with_pf.major_faults < no_pf.major_faults / 3,
+        "readahead must absorb most majors: {} vs {}",
+        with_pf.major_faults,
+        no_pf.major_faults
+    );
+    assert!(
+        t_ra < t_none,
+        "prefetching must be faster: {t_ra} vs {t_none}"
+    );
+    // Faults on in-flight pages are DiLOS minor faults.
+    assert!(with_pf.minor_faults > 0);
+    assert_eq!(no_pf.minor_faults, 0);
+}
+
+#[test]
+fn repeated_access_hits_the_tlb_without_faults() {
+    let mut n = node(64);
+    let va = n.ddc_alloc(PAGE);
+    n.write_u64(0, va, 7);
+    let majors = n.stats().major_faults;
+    let zf = n.stats().zero_fills;
+    for _ in 0..100 {
+        assert_eq!(n.read_u64(0, va), 7);
+    }
+    assert_eq!(n.stats().major_faults, majors);
+    assert_eq!(n.stats().zero_fills, zf);
+    assert!(n.stats().local_hits >= 100);
+}
+
+#[test]
+fn virtual_time_is_deterministic() {
+    let run = || {
+        let mut n = node(64);
+        n.set_prefetcher(Box::new(Readahead::new()));
+        let va = n.ddc_alloc(200 * PAGE);
+        for p in 0..200u64 {
+            n.write_u64(0, va + p * PAGE as u64, p * 3);
+        }
+        let mut acc = 0u64;
+        for p in 0..200u64 {
+            acc = acc.wrapping_add(n.read_u64(0, va + p * PAGE as u64));
+        }
+        (acc, n.now(0))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn tcp_mode_is_slower() {
+    let run = |tcp: bool| {
+        let mut n = Dilos::new(DilosConfig {
+            local_pages: 64,
+            remote_bytes: 1 << 28,
+            tcp_mode: tcp,
+            ..DilosConfig::default()
+        });
+        let va = n.ddc_alloc(256 * PAGE);
+        for p in 0..256u64 {
+            n.write_u64(0, va + p * PAGE as u64, p);
+        }
+        for p in 0..256u64 {
+            let _ = n.read_u64(0, va + p * PAGE as u64);
+        }
+        n.now(0)
+    };
+    assert!(run(true) > run(false));
+}
+
+#[test]
+fn ddc_free_releases_frames() {
+    let mut n = node(64);
+    let va = n.ddc_alloc(32 * PAGE);
+    for p in 0..32u64 {
+        n.write_u64(0, va + p * PAGE as u64, p);
+    }
+    assert_eq!(n.resident_pages(), 32);
+    n.ddc_free(va, 32 * PAGE);
+    assert_eq!(n.resident_pages(), 0);
+    assert!(matches!(n.pte_of(va), Pte::None));
+}
+
+#[test]
+fn local_mmap_never_touches_the_network() {
+    let mut n = node(64);
+    let va = n.mmap(8 * PAGE, 0);
+    let data = vec![0x5A; 3 * PAGE];
+    n.write(0, va + 100, &data);
+    let mut out = vec![0u8; data.len()];
+    n.read(0, va + 100, &mut out);
+    assert_eq!(out, data);
+    assert_eq!(n.stats().major_faults, 0);
+    assert_eq!(n.stats().zero_fills, 0);
+    // DDC mappings live elsewhere.
+    let ddc = n.mmap(PAGE, MAP_DDC);
+    assert!(ddc < va);
+}
+
+#[test]
+fn guided_paging_saves_bandwidth_and_preserves_data() {
+    // A heap page with one live 512-byte object; eviction under the guide
+    // must transfer only that object, and the refetch must restore it.
+    let heap = Rc::new(RefCell::new(Heap::new(dilos_core::DDC_BASE, 1 << 22)));
+    let mut n = node(64);
+    let region = n.ddc_alloc(1 << 22);
+    assert_eq!(region, dilos_core::DDC_BASE);
+    n.set_paging_guide(Rc::new(RefCell::new(HeapPagingGuide::new(
+        Rc::clone(&heap),
+        3,
+    ))));
+
+    // One live object on its page, rest of the page dead.
+    let obj = heap.borrow_mut().malloc(512).unwrap();
+    let dead: Vec<u64> = (0..7)
+        .map(|_| heap.borrow_mut().malloc(512).unwrap())
+        .collect();
+    for d in dead {
+        heap.borrow_mut().free(d).unwrap();
+    }
+    n.write(0, obj, &[0xCD; 512]);
+
+    // Force the page out by cycling a large working set.
+    let churn = n.ddc_alloc(512 * PAGE);
+    for p in 0..512u64 {
+        n.write_u64(0, churn + p * PAGE as u64, p);
+    }
+    assert!(
+        !matches!(n.pte_of(obj), Pte::Local { .. }),
+        "object page must have been evicted"
+    );
+    assert!(n.stats().guided_evictions > 0);
+    assert!(n.stats().writeback_bytes_saved > 0);
+
+    // Refetch restores the live object via the action vector.
+    let mut buf = [0u8; 512];
+    n.read(0, obj, &mut buf);
+    assert!(buf.iter().all(|&b| b == 0xCD));
+    assert!(n.stats().guided_fetches > 0);
+    assert!(n.stats().fetch_bytes_saved > 0);
+}
+
+/// A linked-list prefetch guide: follows `next` pointers stored at offset 0
+/// of each node (one node per page), exactly the Figure 5 scenario.
+struct ListGuide {
+    issued: usize,
+}
+
+impl PrefetchGuide for ListGuide {
+    fn on_fault(&mut self, va: u64, ops: &mut dyn GuideOps) {
+        // Subpage-fetch the node header (its `next` pointer) and prefetch
+        // the page it points to.
+        if let Some((bytes, _ready)) = ops.subpage_read(va & !0xFFF, 8) {
+            let next = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte subpage"));
+            if next != 0 {
+                ops.prefetch_page(next);
+                self.issued += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn prefetch_guide_chases_pointers() {
+    let mut n = node(64);
+    let pages = 256usize;
+    let va = n.ddc_alloc(pages * PAGE);
+    // Build a linked list: node p points at node p+1, one node per page.
+    for p in 0..pages as u64 {
+        let next = if p + 1 < pages as u64 {
+            va + (p + 1) * PAGE as u64
+        } else {
+            0
+        };
+        n.write_u64(0, va + p * PAGE as u64, next);
+    }
+    let guide = Rc::new(RefCell::new(ListGuide { issued: 0 }));
+    n.set_prefetch_guide(guide.clone());
+    assert_eq!(n.prefetcher_name(), "app-aware");
+
+    // Traverse: each fault triggers the guide, which prefetches the next
+    // node before we get there.
+    let mut cur = va;
+    let mut visited = 0;
+    while cur != 0 {
+        cur = n.read_u64(0, cur);
+        visited += 1;
+    }
+    assert_eq!(visited, pages);
+    assert!(guide.borrow().issued > 0, "guide must have prefetched");
+    assert!(n.stats().subpage_fetches > 0);
+    let s = n.stats();
+    // The second half of the traversal runs against evicted pages; the
+    // guide must have converted most of those majors into minors/hits.
+    assert!(
+        s.prefetch_issued > 0 && s.major_faults < pages as u64,
+        "majors {} prefetched {}",
+        s.major_faults,
+        s.prefetch_issued
+    );
+}
+
+#[test]
+fn multicore_barrier_joins_clocks() {
+    let mut n = Dilos::new(DilosConfig {
+        local_pages: 64,
+        cores: 4,
+        remote_bytes: 1 << 26,
+        ..DilosConfig::default()
+    });
+    let va = n.ddc_alloc(64 * PAGE);
+    for c in 0..4 {
+        for p in 0..8u64 {
+            n.write_u64(c, va + (c as u64 * 8 + p) * PAGE as u64, p);
+        }
+    }
+    let t = n.barrier();
+    assert!(t > 0);
+    for c in 0..4 {
+        assert_eq!(n.now(c), t);
+    }
+}
+
+#[test]
+fn per_core_queue_pairs_let_cores_fault_in_parallel() {
+    // §4.5: every core gets its own fault QP, so two cores demand-fetching
+    // at the same instant do not serialize on a queue — only on the shared
+    // wire. Compare two cores fetching N pages each against one core
+    // fetching 2N.
+    let run = |cores: usize, pages_per_core: u64| {
+        let mut n = Dilos::new(DilosConfig {
+            local_pages: 512,
+            remote_bytes: 1 << 26,
+            cores,
+            ..DilosConfig::default()
+        });
+        let total = cores as u64 * pages_per_core;
+        let va = n.ddc_alloc((total * 4096) as usize);
+        for p in 0..total {
+            n.write_u64(0, va + p * 4096, p);
+        }
+        // Evict everything by churning a second region on core 0.
+        let churn = n.ddc_alloc(512 * 4096);
+        for p in 0..512u64 {
+            n.write_u64(0, churn + p * 4096, p);
+        }
+        // Now fetch back: each core reads its own slice.
+        for c in 0..cores {
+            for p in 0..pages_per_core {
+                let idx = c as u64 * pages_per_core + p;
+                assert_eq!(n.read_u64(c, va + idx * 4096), idx);
+            }
+        }
+        n.max_now()
+    };
+    let one_core = run(1, 128);
+    let two_cores = run(2, 64);
+    assert!(
+        two_cores < one_core,
+        "two cores with private QPs must finish sooner: {two_cores} vs {one_core}"
+    );
+}
+
+#[test]
+fn barrier_free_cores_share_the_fabric_fairly() {
+    let mut n = Dilos::new(DilosConfig {
+        local_pages: 256,
+        remote_bytes: 1 << 26,
+        cores: 4,
+        ..DilosConfig::default()
+    });
+    let va = n.ddc_alloc(256 * 4096);
+    for p in 0..256u64 {
+        n.write_u64(0, va + p * 4096, p);
+    }
+    let churn = n.ddc_alloc(256 * 4096);
+    for p in 0..256u64 {
+        n.write_u64(0, churn + p * 4096, p);
+    }
+    // Interleave reads across cores round-robin.
+    for p in 0..256u64 {
+        let c = (p % 4) as usize;
+        assert_eq!(n.read_u64(c, va + p * 4096), p);
+    }
+    // No core should lag wildly behind the others (fair wire sharing).
+    let times: Vec<u64> = (0..4).map(|c| n.now(c)).collect();
+    let max = *times.iter().max().expect("4 cores");
+    let min = *times.iter().min().expect("4 cores");
+    assert!(
+        max < min * 3,
+        "core clocks too skewed under fair sharing: {times:?}"
+    );
+}

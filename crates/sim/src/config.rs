@@ -1,0 +1,186 @@
+//! Calibration constants for the virtual-time model.
+//!
+//! Every constant here is sourced from a measurement in the DiLOS paper:
+//! Figure 1 (Fastswap page-fault latency breakdown), Figure 2 (RDMA latency
+//! vs object size), Figure 6 (DiLOS vs Fastswap breakdown), and the §6.2
+//! testbed description. DESIGN.md carries the full derivation table.
+
+use crate::time::{cycles_to_ns, Ns};
+
+/// Calibrated latency and bandwidth model for the simulated testbed.
+///
+/// The defaults reproduce the paper's two-node ConnectX-5 100 GbE setup with
+/// 2.3 GHz Xeon cores. Experiments that sweep a parameter (e.g. the ablation
+/// benches) clone and mutate a config.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// CPU clock rate in GHz (testbed: Intel E5-2670 v3, 2.3 GHz).
+    pub cpu_ghz: f64,
+    /// Network link bandwidth in bytes per second (100 Gb/s RoCE).
+    pub link_bytes_per_sec: f64,
+    /// Fixed component of a one-sided RDMA read (Figure 2: ~1.5 µs at 128 B).
+    pub rdma_read_base_ns: Ns,
+    /// Fixed component of a one-sided RDMA write (slightly cheaper: no
+    /// response payload on the wire).
+    pub rdma_write_base_ns: Ns,
+    /// Per-byte latency of a one-sided verb (Figure 2: a 4 KB read costs
+    /// ~0.6 µs more than a 128 B read, i.e. ~0.146 ns/B end to end).
+    pub rdma_per_byte_ns: f64,
+    /// Doorbell/WQE processing time per posted verb on a queue pair.
+    ///
+    /// With BlueFlame (WQE-by-MMIO) enabled — which DiLOS's driver supports
+    /// via the write-combining buffer it adds to OSv — this is small.
+    pub qp_doorbell_ns: Ns,
+    /// Extra per-segment cost of a vectored (scatter/gather) verb.
+    pub sg_per_segment_ns: Ns,
+    /// Additional per-segment penalty once a vector exceeds
+    /// [`sg_fast_segments`](Self::sg_fast_segments) entries. §6.3 reports "a
+    /// significant slowdown when its vector is longer than three", which is
+    /// why the guided-paging guide caps vectors at three segments.
+    pub sg_slow_per_segment_ns: Ns,
+    /// Number of scatter/gather segments served at full speed.
+    pub sg_fast_segments: usize,
+    /// Latency reduction on the memory node when its region is backed by
+    /// 2 MB huge pages (the RNIC page table fits in NIC cache; §5).
+    pub memnode_hugepage_saving_ns: Ns,
+    /// Hardware page-fault exception delivery plus OS exception entry
+    /// (Figure 1: 0.57 µs, 9 % of the average Fastswap fault).
+    pub hw_exception_ns: Ns,
+    /// Cost of a local DRAM access once a page is mapped (charged per
+    /// workload-level access; approximates cache-hierarchy behaviour).
+    pub local_access_ns: Ns,
+    /// Emulated per-completion TCP delay used for the AIFM comparison
+    /// (§6.2 footnote 2: 14,000 cycles).
+    pub tcp_extra_cycles: u64,
+    /// RNIC transport-retry timeout observed on the first access to a dead
+    /// memory node (multi-node pools only).
+    pub failover_detect_ns: Ns,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cpu_ghz: 2.3,
+            // 100 Gb/s = 12.5 GB/s.
+            link_bytes_per_sec: 12.5e9,
+            rdma_read_base_ns: 1_450,
+            rdma_write_base_ns: 1_350,
+            rdma_per_byte_ns: 0.146,
+            qp_doorbell_ns: 20,
+            sg_per_segment_ns: 100,
+            sg_slow_per_segment_ns: 700,
+            sg_fast_segments: 3,
+            memnode_hugepage_saving_ns: 50,
+            hw_exception_ns: 570,
+            local_access_ns: 4,
+            tcp_extra_cycles: 14_000,
+            // A few retransmission rounds at RoCE timeouts: ~1 ms.
+            failover_detect_ns: 1_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A far-memory profile over a modern NVMe drive instead of RDMA
+    /// (§5.1: "Modern NVMe drives provide enough performance to be used
+    /// for far memory; thereby, DiLOS' design would be valid for NVMe
+    /// drives"). Calibrated to a fast PCIe 4.0 drive: ~10 µs random-read
+    /// latency, ~6.5 GB/s sequential bandwidth.
+    pub fn nvme() -> Self {
+        Self {
+            link_bytes_per_sec: 6.5e9,
+            rdma_read_base_ns: 10_000,
+            rdma_write_base_ns: 11_000,
+            rdma_per_byte_ns: 0.15,
+            // NVMe submission/completion queues instead of RDMA doorbells.
+            qp_doorbell_ns: 150,
+            memnode_hugepage_saving_ns: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Latency of a one-sided read of `bytes`, excluding queueing.
+    pub fn rdma_read_ns(&self, bytes: usize) -> Ns {
+        self.rdma_read_base_ns + (bytes as f64 * self.rdma_per_byte_ns) as Ns
+    }
+
+    /// Latency of a one-sided write of `bytes`, excluding queueing.
+    pub fn rdma_write_ns(&self, bytes: usize) -> Ns {
+        self.rdma_write_base_ns + (bytes as f64 * self.rdma_per_byte_ns) as Ns
+    }
+
+    /// Wire occupancy of `bytes` on the link.
+    pub fn wire_ns(&self, bytes: usize) -> Ns {
+        (bytes as f64 / self.link_bytes_per_sec * 1e9) as Ns
+    }
+
+    /// Extra latency charged for a vectored verb with `segments` entries.
+    pub fn sg_extra_ns(&self, segments: usize) -> Ns {
+        if segments <= 1 {
+            return 0;
+        }
+        let extra = segments - 1;
+        let fast = extra.min(self.sg_fast_segments.saturating_sub(1));
+        let slow = extra - fast;
+        fast as Ns * self.sg_per_segment_ns + slow as Ns * self.sg_slow_per_segment_ns
+    }
+
+    /// The emulated TCP delay in nanoseconds.
+    pub fn tcp_extra_ns(&self) -> Ns {
+        cycles_to_ns(self.tcp_extra_cycles, self.cpu_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_latency_matches_figure2_shape() {
+        let c = SimConfig::default();
+        let small = c.rdma_read_ns(128);
+        let page = c.rdma_read_ns(4096);
+        // Figure 2: a 4 KB fetch imposes only ~0.6 µs extra over 128 B.
+        let delta = page - small;
+        assert!((500..700).contains(&delta), "delta {delta}");
+        // A 4 KB read lands in the 2–3 µs window Figure 1 reports.
+        assert!((1_900..3_100).contains(&page), "page {page}");
+    }
+
+    #[test]
+    fn writes_cheaper_than_reads() {
+        let c = SimConfig::default();
+        assert!(c.rdma_write_ns(4096) < c.rdma_read_ns(4096));
+    }
+
+    #[test]
+    fn sg_penalty_kicks_in_past_three_segments() {
+        let c = SimConfig::default();
+        assert_eq!(c.sg_extra_ns(1), 0);
+        let three = c.sg_extra_ns(3);
+        let four = c.sg_extra_ns(4);
+        let step_fast = three - c.sg_extra_ns(2);
+        let step_slow = four - three;
+        assert!(
+            step_slow > 3 * step_fast,
+            "segment 4 must be disproportionately expensive"
+        );
+    }
+
+    #[test]
+    fn nvme_profile_is_an_order_slower_than_rdma() {
+        let rdma = SimConfig::default();
+        let nvme = SimConfig::nvme();
+        assert!(nvme.rdma_read_ns(4096) > 4 * rdma.rdma_read_ns(4096));
+        // But still fast enough that software costs matter (< 20 µs).
+        assert!(nvme.rdma_read_ns(4096) < 20_000);
+    }
+
+    #[test]
+    fn wire_time_is_bandwidth_bound() {
+        let c = SimConfig::default();
+        // 12.5 GB/s: a 4 KB page occupies the wire ~328 ns.
+        let w = c.wire_ns(4096);
+        assert!((300..360).contains(&w), "wire {w}");
+    }
+}

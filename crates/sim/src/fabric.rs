@@ -1,0 +1,167 @@
+//! The network fabric: shared link occupancy and per-class accounting.
+//!
+//! DiLOS's communication module (§4.5) is shared-nothing: every paging module
+//! gets its own per-core RDMA queue so that "the page fault handler's
+//! requests must not be blocked by other low prioritized requests from a
+//! prefetcher or a manager (head-of-line blocking)". The fabric models the
+//! part all queues *do* share — the 100 GbE wire — and records per-class
+//! byte counts so Figure 12 (bandwidth over time) can be regenerated.
+
+use crate::config::SimConfig;
+use crate::stats::BandwidthRecorder;
+use crate::time::Ns;
+use crate::timeline::Timeline;
+
+/// The originating module of a verb, mapping onto DiLOS's per-module queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceClass {
+    /// Demand fetches issued by the page fault handler (highest urgency).
+    Fault,
+    /// Asynchronous prefetches issued by the page prefetcher.
+    Prefetch,
+    /// Subpage fetches issued by app-aware guides (their own queues, §4.5).
+    Guide,
+    /// Writebacks and evictions issued by the cleaner/reclaimer.
+    Cleaner,
+    /// Direct application traffic (used by the AIFM baseline's object
+    /// fetches and by raw-verb microbenchmarks).
+    App,
+}
+
+impl ServiceClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [ServiceClass; 5] = [
+        ServiceClass::Fault,
+        ServiceClass::Prefetch,
+        ServiceClass::Guide,
+        ServiceClass::Cleaner,
+        ServiceClass::App,
+    ];
+
+    /// Index into per-class arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            ServiceClass::Fault => 0,
+            ServiceClass::Prefetch => 1,
+            ServiceClass::Guide => 2,
+            ServiceClass::Cleaner => 3,
+            ServiceClass::App => 4,
+        }
+    }
+
+    /// Human-readable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceClass::Fault => "fault",
+            ServiceClass::Prefetch => "prefetch",
+            ServiceClass::Guide => "guide",
+            ServiceClass::Cleaner => "cleaner",
+            ServiceClass::App => "app",
+        }
+    }
+}
+
+/// The shared wire plus bandwidth accounting.
+#[derive(Debug)]
+pub struct Fabric {
+    cfg: SimConfig,
+    /// Compute-node → memory-node direction (evictions/writebacks).
+    link_up: Timeline,
+    /// Memory-node → compute-node direction (fetches). RoCE links are full
+    /// duplex, so the two directions do not contend.
+    link_down: Timeline,
+    bw: BandwidthRecorder,
+    class_tx: [u64; 5],
+    class_rx: [u64; 5],
+}
+
+impl Fabric {
+    /// Creates a fabric with the given calibration; bandwidth is bucketed at
+    /// `bw_bucket_ns` for the Figure 12 time series.
+    pub fn new(cfg: SimConfig, bw_bucket_ns: Ns) -> Self {
+        Self {
+            cfg,
+            link_up: Timeline::new(),
+            link_down: Timeline::new(),
+            bw: BandwidthRecorder::new(bw_bucket_ns),
+            class_tx: [0; 5],
+            class_rx: [0; 5],
+        }
+    }
+
+    /// The calibration constants in force.
+    pub fn cfg(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Occupies the wire for `bytes` starting no earlier than `t`, returning
+    /// the wire-completion time, and accounts the bytes to `class`.
+    ///
+    /// `inbound` is memory-node → compute-node (fetch) traffic.
+    pub fn transfer(&mut self, t: Ns, class: ServiceClass, bytes: usize, inbound: bool) -> Ns {
+        let wire = self.cfg.wire_ns(bytes);
+        let link = if inbound {
+            &mut self.link_down
+        } else {
+            &mut self.link_up
+        };
+        let (_, end) = link.acquire(t, wire);
+        if inbound {
+            self.bw.record_rx(end, bytes as u64);
+            self.class_rx[class.idx()] += bytes as u64;
+        } else {
+            self.bw.record_tx(end, bytes as u64);
+            self.class_tx[class.idx()] += bytes as u64;
+        }
+        end
+    }
+
+    /// The bandwidth time series recorder.
+    pub fn bandwidth(&self) -> &BandwidthRecorder {
+        &self.bw
+    }
+
+    /// Outbound (eviction) bytes attributed to `class`.
+    pub fn class_tx(&self, class: ServiceClass) -> u64 {
+        self.class_tx[class.idx()]
+    }
+
+    /// Inbound (fetch) bytes attributed to `class`.
+    pub fn class_rx(&self, class: ServiceClass) -> u64 {
+        self.class_rx[class.idx()]
+    }
+
+    /// Total link busy time across both directions (utilization reports).
+    pub fn link_busy(&self) -> Ns {
+        self.link_up.total_busy() + self.link_down.total_busy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_serialize_on_the_wire() {
+        let mut f = Fabric::new(SimConfig::default(), 1_000_000);
+        let w = f.cfg().wire_ns(4096);
+        let a = f.transfer(0, ServiceClass::Fault, 4096, true);
+        let b = f.transfer(0, ServiceClass::Prefetch, 4096, true);
+        assert_eq!(a, w);
+        assert_eq!(b, 2 * w, "second transfer queues behind the first");
+        // The opposite direction is independent (full duplex).
+        let c = f.transfer(0, ServiceClass::Cleaner, 4096, false);
+        assert_eq!(c, w);
+    }
+
+    #[test]
+    fn per_class_accounting() {
+        let mut f = Fabric::new(SimConfig::default(), 1_000_000);
+        f.transfer(0, ServiceClass::Cleaner, 100, false);
+        f.transfer(0, ServiceClass::Fault, 200, true);
+        assert_eq!(f.class_tx(ServiceClass::Cleaner), 100);
+        assert_eq!(f.class_rx(ServiceClass::Fault), 200);
+        assert_eq!(f.bandwidth().total_tx(), 100);
+        assert_eq!(f.bandwidth().total_rx(), 200);
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic virtual-time substrate for the DiLOS reproduction.
+//!
+//! The DiLOS paper ([EuroSys '23]) evaluates a paging-based memory
+//! disaggregation system on a two-node RDMA testbed. This crate replaces that
+//! testbed with a calibrated, deterministic simulation: every latency the
+//! paper measures (one-sided RDMA verbs, link occupancy, hardware page-fault
+//! exception cost) is charged in *virtual nanoseconds* against resource
+//! timelines, so experiments are reproducible on any machine and still
+//! exercise the same code paths a real deployment would.
+//!
+//! The crate provides:
+//!
+//! - [`time`]: virtual-time primitives ([`Ns`], per-core [`CoreClock`]s).
+//! - [`timeline`]: serially-occupied resources ([`Timeline`]).
+//! - [`config`]: the calibration constants ([`SimConfig`]), sourced from the
+//!   paper's Figures 1, 2, and 6 and §6.2.
+//! - [`memnode`]: the memory node — a registered remote memory region served
+//!   by a simulated RNIC ([`MemoryNode`]).
+//! - [`fabric`]: the network link model with per-class bandwidth accounting
+//!   ([`Fabric`], [`ServiceClass`]).
+//! - [`rdma`]: one-sided verbs over per-core, per-module queue pairs
+//!   ([`RdmaEndpoint`]), including the scatter/gather verbs guided paging
+//!   uses.
+//! - [`stats`]: latency histograms and bandwidth time series used to
+//!   regenerate the paper's tables and figures.
+//! - [`rng`]: deterministic random streams and the size/popularity
+//!   distributions the evaluation workloads need.
+//!
+//! [EuroSys '23]: https://doi.org/10.1145/3552326.3567488
+
+pub mod config;
+pub mod ec;
+pub mod fabric;
+pub mod lru;
+pub mod memnode;
+pub mod rdma;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+
+pub use config::SimConfig;
+pub use ec::{EcError, Gf256, ReedSolomon};
+pub use fabric::{Fabric, ServiceClass};
+pub use lru::LruChain;
+pub use memnode::{MemoryNode, RegionHandle};
+pub use rdma::{RdmaEndpoint, RdmaError, Segment};
+pub use rng::{MixedSizes, SplitMix64, Zipf};
+pub use stats::{BandwidthRecorder, LatencyHistogram};
+pub use time::{CoreClock, Ns, PAGE_SIZE};
+pub use timeline::Timeline;

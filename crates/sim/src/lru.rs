@@ -1,0 +1,220 @@
+//! An exact O(1) LRU chain over `u64` keys.
+//!
+//! All three systems in this reproduction maintain a recency order over
+//! their resident pages/chunks — DiLOS's page manager "inserts all newly
+//! allocated pages into an LRU list" (§4.4), Linux keeps its two-list LRU,
+//! and AIFM's evacuator tracks hot objects. [`LruChain`] is that list:
+//! constant-time touch/insert/remove via an intrusive doubly-linked chain
+//! stored in a hash map, with tail-first iteration for victim selection.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Links {
+    prev: Option<u64>,
+    next: Option<u64>,
+}
+
+/// An exact LRU chain: head = most recently used, tail = least.
+#[derive(Debug, Default)]
+pub struct LruChain {
+    links: HashMap<u64, Links>,
+    head: Option<u64>,
+    tail: Option<u64>,
+}
+
+impl LruChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Whether `key` is tracked.
+    pub fn contains(&self, key: u64) -> bool {
+        self.links.contains_key(&key)
+    }
+
+    fn unlink(&mut self, key: u64) -> Links {
+        let l = self.links[&key];
+        match l.prev {
+            Some(p) => self.links.get_mut(&p).expect("chain consistent").next = l.next,
+            None => self.head = l.next,
+        }
+        match l.next {
+            Some(n) => self.links.get_mut(&n).expect("chain consistent").prev = l.prev,
+            None => self.tail = l.prev,
+        }
+        l
+    }
+
+    fn push_head(&mut self, key: u64) {
+        let old = self.head;
+        self.links.insert(
+            key,
+            Links {
+                prev: None,
+                next: old,
+            },
+        );
+        if let Some(o) = old {
+            self.links.get_mut(&o).expect("chain consistent").prev = Some(key);
+        }
+        self.head = Some(key);
+        if self.tail.is_none() {
+            self.tail = Some(key);
+        }
+    }
+
+    /// Inserts `key` as most recently used (re-inserting touches it).
+    pub fn insert(&mut self, key: u64) {
+        if self.links.contains_key(&key) {
+            self.unlink(key);
+        }
+        self.push_head(key);
+    }
+
+    /// Marks `key` most recently used; no-op if untracked.
+    pub fn touch(&mut self, key: u64) {
+        if self.head == Some(key) {
+            return;
+        }
+        if self.links.contains_key(&key) {
+            self.unlink(key);
+            self.push_head(key);
+        }
+    }
+
+    /// Removes `key`. Returns whether it was tracked.
+    pub fn remove(&mut self, key: u64) -> bool {
+        if self.links.contains_key(&key) {
+            self.unlink(key);
+            self.links.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The least recently used key.
+    pub fn coldest(&self) -> Option<u64> {
+        self.tail
+    }
+
+    /// Iterates from coldest to hottest (victim scanning).
+    pub fn iter_cold(&self) -> IterCold<'_> {
+        IterCold {
+            chain: self,
+            cur: self.tail,
+        }
+    }
+}
+
+/// Cold-to-hot iterator.
+#[derive(Debug)]
+pub struct IterCold<'a> {
+    chain: &'a LruChain,
+    cur: Option<u64>,
+}
+
+impl Iterator for IterCold<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let k = self.cur?;
+        self.cur = self.chain.links[&k].prev;
+        Some(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_orders_by_recency() {
+        let mut l = LruChain::new();
+        l.insert(1);
+        l.insert(2);
+        l.insert(3);
+        assert_eq!(l.coldest(), Some(1));
+        assert_eq!(l.iter_cold().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn touch_moves_to_head() {
+        let mut l = LruChain::new();
+        for k in 1..=4 {
+            l.insert(k);
+        }
+        l.touch(1);
+        assert_eq!(l.coldest(), Some(2));
+        assert_eq!(l.iter_cold().collect::<Vec<_>>(), vec![2, 3, 4, 1]);
+        // Touching the head is a cheap no-op.
+        l.touch(1);
+        assert_eq!(l.iter_cold().collect::<Vec<_>>(), vec![2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn remove_relinks() {
+        let mut l = LruChain::new();
+        for k in 1..=3 {
+            l.insert(k);
+        }
+        assert!(l.remove(2));
+        assert!(!l.remove(2));
+        assert_eq!(l.iter_cold().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(l.remove(1));
+        assert!(l.remove(3));
+        assert!(l.is_empty());
+        assert_eq!(l.coldest(), None);
+    }
+
+    #[test]
+    fn untracked_touch_is_inert() {
+        let mut l = LruChain::new();
+        l.touch(9);
+        assert!(l.is_empty());
+        l.insert(1);
+        l.touch(9);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn heavy_mixed_usage_stays_consistent() {
+        let mut l = LruChain::new();
+        let mut rng = crate::rng::SplitMix64::new(1);
+        let mut present = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let k = rng.gen_range(64);
+            match rng.gen_range(3) {
+                0 => {
+                    l.insert(k);
+                    present.insert(k);
+                }
+                1 => {
+                    l.touch(k);
+                }
+                _ => {
+                    l.remove(k);
+                    present.remove(&k);
+                }
+            }
+            assert_eq!(l.len(), present.len());
+        }
+        let seen: Vec<u64> = l.iter_cold().collect();
+        assert_eq!(seen.len(), present.len());
+        for k in seen {
+            assert!(present.contains(&k));
+        }
+    }
+}

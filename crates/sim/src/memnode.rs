@@ -1,0 +1,208 @@
+//! The memory node: a passive, RNIC-served remote memory pool.
+//!
+//! §5 of the paper: "A server process in the memory node handles setup
+//! requests from the computing node and registers its memory region to its
+//! RDMA NIC. After that, the RNIC serves all read and write RDMA requests
+//! from the computing node." The node is entirely passive on the data path —
+//! one-sided verbs — which this module mirrors: registration is the only
+//! control-path operation, and all data-path access goes through
+//! [`MemoryNode::read`]/[`MemoryNode::write`] after an rkey + bounds check.
+//!
+//! Backing storage is sparse: pages that were never written read back as
+//! zeros, exactly like freshly-registered (zeroed) host memory.
+
+use std::collections::HashMap;
+
+use crate::time::PAGE_SIZE;
+
+/// A registered memory region's access handle (rkey analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionHandle(u32);
+
+#[derive(Debug, Clone)]
+struct Region {
+    base: u64,
+    len: u64,
+}
+
+/// Errors returned by memory-node accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemNodeError {
+    /// The rkey does not name a registered region (protection-key check).
+    BadKey,
+    /// The access falls outside the region the rkey protects.
+    OutOfBounds,
+}
+
+impl std::fmt::Display for MemNodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemNodeError::BadKey => write!(f, "rkey does not match a registered region"),
+            MemNodeError::OutOfBounds => write!(f, "access outside registered region"),
+        }
+    }
+}
+
+impl std::error::Error for MemNodeError {}
+
+/// The memory node's registered memory pool.
+#[derive(Debug, Default)]
+pub struct MemoryNode {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    regions: HashMap<u32, Region>,
+    next_key: u32,
+    huge_pages: bool,
+}
+
+impl MemoryNode {
+    /// Creates an empty memory node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables 2 MB huge-page backing for registered regions.
+    ///
+    /// §5: huge pages let the whole RNIC page table fit in NIC cache; the
+    /// fabric model shaves [`memnode_hugepage_saving_ns`] off each verb when
+    /// this is set.
+    ///
+    /// [`memnode_hugepage_saving_ns`]: crate::config::SimConfig::memnode_hugepage_saving_ns
+    pub fn set_huge_pages(&mut self, on: bool) {
+        self.huge_pages = on;
+    }
+
+    /// Whether huge-page backing is enabled.
+    pub fn huge_pages(&self) -> bool {
+        self.huge_pages
+    }
+
+    /// Registers `[base, base + len)` and returns its protection key.
+    ///
+    /// This is the control-path operation a compute node performs once at
+    /// connection setup (§5: "the control-path only once at the
+    /// initialization stage").
+    pub fn register_region(&mut self, base: u64, len: u64) -> RegionHandle {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.regions.insert(key, Region { base, len });
+        RegionHandle(key)
+    }
+
+    fn check(&self, key: RegionHandle, addr: u64, len: usize) -> Result<(), MemNodeError> {
+        let region = self.regions.get(&key.0).ok_or(MemNodeError::BadKey)?;
+        let end = addr
+            .checked_add(len as u64)
+            .ok_or(MemNodeError::OutOfBounds)?;
+        if addr < region.base || end > region.base + region.len {
+            return Err(MemNodeError::OutOfBounds);
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` (may span pages).
+    pub fn read(&self, key: RegionHandle, addr: u64, buf: &mut [u8]) -> Result<(), MemNodeError> {
+        self.check(key, addr, buf.len())?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = a / PAGE_SIZE as u64;
+            let in_page = (a % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr` (may span pages).
+    pub fn write(&mut self, key: RegionHandle, addr: u64, buf: &[u8]) -> Result<(), MemNodeError> {
+        self.check(key, addr, buf.len())?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = a / PAGE_SIZE as u64;
+            let in_page = (a % PAGE_SIZE as u64) as usize;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Number of pages materialized on the node (for capacity reporting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node_with_region() -> (MemoryNode, RegionHandle) {
+        let mut n = MemoryNode::new();
+        let k = n.register_region(0, 1 << 20);
+        (n, k)
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let (n, k) = node_with_region();
+        let mut buf = [0xFFu8; 64];
+        n.read(k, 4096, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_across_pages() {
+        let (mut n, k) = node_with_region();
+        let data: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        // Deliberately misaligned so the access spans three pages.
+        n.write(k, 100, &data).unwrap();
+        let mut out = vec![0u8; 8192];
+        n.read(k, 100, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(n.resident_pages(), 3);
+    }
+
+    #[test]
+    fn bad_key_is_rejected() {
+        let (mut n, _) = node_with_region();
+        let forged = RegionHandle(99);
+        let mut buf = [0u8; 8];
+        assert_eq!(n.read(forged, 0, &mut buf), Err(MemNodeError::BadKey));
+        assert_eq!(n.write(forged, 0, &buf), Err(MemNodeError::BadKey));
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let (mut n, k) = node_with_region();
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            n.read(k, (1 << 20) - 8, &mut buf),
+            Err(MemNodeError::OutOfBounds)
+        );
+        assert_eq!(
+            n.write(k, u64::MAX - 4, &buf),
+            Err(MemNodeError::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn regions_isolate_each_other() {
+        let mut n = MemoryNode::new();
+        let a = n.register_region(0, 4096);
+        let b = n.register_region(1 << 30, 4096);
+        let mut buf = [0u8; 8];
+        // Key `a` cannot touch region `b` (protection-key isolation, §5).
+        assert_eq!(n.read(a, 1 << 30, &mut buf), Err(MemNodeError::OutOfBounds));
+        assert!(n.read(b, 1 << 30, &mut buf).is_ok());
+    }
+}

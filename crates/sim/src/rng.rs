@@ -1,0 +1,182 @@
+//! Deterministic random streams and workload distributions.
+//!
+//! Every experiment in the reproduction is seeded, so two runs of the same
+//! bench produce identical tables. [`SplitMix64`] is the base generator;
+//! [`Zipf`] and [`MixedSizes`] provide the popularity and object-size
+//! distributions the Redis evaluation (§6.2) uses.
+
+/// SplitMix64: a tiny, high-quality, splittable PRNG.
+///
+/// Used instead of `rand`'s thread-local generators wherever the simulation
+/// itself needs randomness, so that determinism never depends on ambient
+/// state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift rejection-free approximation is fine here;
+        // the tiny modulo bias is irrelevant for workload generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Derives an independent child stream (split).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffles a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Zipf-distributed ranks over `n` items with exponent `s`.
+///
+/// Uses a precomputed CDF with binary search; `n` in the evaluation is at
+/// most a few hundred thousand keys, so the table is small.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf sampler over `n` items (`rank 0` most popular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "n must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The mixed object-size distribution from the Redis GET evaluation.
+///
+/// §6.2: "six equally distributed data sizes — 4 KB, 8 KB, 16 KB, 32 KB,
+/// 64 KB, and 128 KB — which represent data sizes of more than 80 % of
+/// objects in the Facebook photo server."
+#[derive(Debug, Clone, Default)]
+pub struct MixedSizes;
+
+impl MixedSizes {
+    /// The six sizes, in bytes.
+    pub const SIZES: [usize; 6] = [4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10];
+
+    /// Samples one object size.
+    pub fn sample(rng: &mut SplitMix64) -> usize {
+        Self::SIZES[rng.gen_range(Self::SIZES.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.gen_range(13) < 13);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(1_000, 0.99);
+        let mut r = SplitMix64::new(1);
+        let mut head = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // The top 1 % of ranks should draw far more than 1 % of samples.
+        assert!(head > n / 10, "head {head}");
+    }
+
+    #[test]
+    fn zipf_covers_all_ranks_in_bounds() {
+        let z = Zipf::new(16, 1.0);
+        let mut r = SplitMix64::new(3);
+        for _ in 0..5_000 {
+            assert!(z.sample(&mut r) < 16);
+        }
+    }
+
+    #[test]
+    fn mixed_sizes_only_returns_listed_sizes() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1_000 {
+            let s = MixedSizes::sample(&mut r);
+            assert!(MixedSizes::SIZES.contains(&s));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(11);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

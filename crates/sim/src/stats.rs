@@ -1,0 +1,271 @@
+//! Measurement machinery: latency histograms and bandwidth time series.
+//!
+//! Table 4 reports 99th/99.9th percentile request latencies and Figure 12
+//! plots network bandwidth over time; this module provides the recorders the
+//! benches use to regenerate both.
+
+use crate::time::Ns;
+
+/// A log-bucketed latency histogram (HdrHistogram-style).
+///
+/// Buckets are `(exponent, 16 linear sub-buckets)`, giving ≤ ~6 % relative
+/// error per recorded value — plenty for reproducing the paper's tail-latency
+/// table.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: Ns,
+    min: Ns,
+    sum: u128,
+}
+
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// 64 exponents × 16 sub-buckets covers the full `u64` range.
+const BUCKETS: usize = 64 * SUB;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+            min: Ns::MAX,
+            sum: 0,
+        }
+    }
+
+    fn index(v: Ns) -> usize {
+        if v < SUB as Ns {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - SUB_BITS)) as usize & (SUB - 1);
+        ((exp - SUB_BITS + 1) as usize) * SUB + sub
+    }
+
+    fn bucket_low(idx: usize) -> Ns {
+        if idx < SUB {
+            return idx as Ns;
+        }
+        let exp = (idx / SUB) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUB) as Ns;
+        (1 << exp) | (sub << (exp - SUB_BITS))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Ns) {
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+        self.sum += v as u128;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples (zero when empty).
+    pub fn mean(&self) -> Ns {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as Ns
+        }
+    }
+
+    /// Largest recorded sample (zero when empty).
+    pub fn max(&self) -> Ns {
+        self.max
+    }
+
+    /// Smallest recorded sample (zero when empty).
+    pub fn min(&self) -> Ns {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the value at quantile `q` in `[0, 1]` (zero when empty).
+    ///
+    /// The returned value is the lower bound of the bucket containing the
+    /// quantile, clamped to the recorded max.
+    pub fn quantile(&self, q: f64) -> Ns {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_low(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.sum += other.sum;
+    }
+}
+
+/// Byte counts bucketed by virtual time, per direction.
+///
+/// `record_tx` is compute-node → memory-node traffic (evictions/writebacks);
+/// `record_rx` is fetch traffic. Figure 12 plots the sum as MB/s over time.
+#[derive(Debug, Clone)]
+pub struct BandwidthRecorder {
+    bucket_ns: Ns,
+    tx: Vec<u64>,
+    rx: Vec<u64>,
+}
+
+impl BandwidthRecorder {
+    /// Creates a recorder with the given time-bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ns` is zero.
+    pub fn new(bucket_ns: Ns) -> Self {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        Self {
+            bucket_ns,
+            tx: Vec::new(),
+            rx: Vec::new(),
+        }
+    }
+
+    fn slot(buf: &mut Vec<u64>, idx: usize) -> &mut u64 {
+        if buf.len() <= idx {
+            buf.resize(idx + 1, 0);
+        }
+        &mut buf[idx]
+    }
+
+    /// Records `bytes` of outbound (eviction) traffic at time `t`.
+    pub fn record_tx(&mut self, t: Ns, bytes: u64) {
+        *Self::slot(&mut self.tx, (t / self.bucket_ns) as usize) += bytes;
+    }
+
+    /// Records `bytes` of inbound (fetch) traffic at time `t`.
+    pub fn record_rx(&mut self, t: Ns, bytes: u64) {
+        *Self::slot(&mut self.rx, (t / self.bucket_ns) as usize) += bytes;
+    }
+
+    /// Total outbound bytes.
+    pub fn total_tx(&self) -> u64 {
+        self.tx.iter().sum()
+    }
+
+    /// Total inbound bytes.
+    pub fn total_rx(&self) -> u64 {
+        self.rx.iter().sum()
+    }
+
+    /// Returns `(bucket_start_ns, tx_bytes, rx_bytes)` rows for plotting.
+    pub fn series(&self) -> Vec<(Ns, u64, u64)> {
+        let n = self.tx.len().max(self.rx.len());
+        (0..n)
+            .map(|i| {
+                (
+                    i as Ns * self.bucket_ns,
+                    self.tx.get(i).copied().unwrap_or(0),
+                    self.rx.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    /// Bucket width.
+    pub fn bucket_ns(&self) -> Ns {
+        self.bucket_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        assert!(p50 <= p99 && p99 <= p999);
+        // ≤ ~6 % relative bucket error.
+        assert!((4_600..=5_100).contains(&p50), "p50 {p50}");
+        assert!((9_200..=10_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn histogram_handles_small_and_huge_values() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(1.0) <= u64::MAX / 2);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.min(), 100);
+    }
+
+    #[test]
+    fn bandwidth_buckets_accumulate() {
+        let mut bw = BandwidthRecorder::new(1_000);
+        bw.record_tx(0, 10);
+        bw.record_tx(999, 5);
+        bw.record_rx(1_500, 7);
+        let s = bw.series();
+        assert_eq!(s[0], (0, 15, 0));
+        assert_eq!(s[1], (1_000, 0, 7));
+        assert_eq!(bw.total_tx(), 15);
+        assert_eq!(bw.total_rx(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Virtual-time primitives.
+//!
+//! All durations and instants in the simulation are expressed in virtual
+//! nanoseconds ([`Ns`]). Each simulated CPU core owns a [`CoreClock`]; the
+//! clock only moves forward, and every cost the paper measures (exception
+//! delivery, handler software, RDMA completion waits) is charged by advancing
+//! it.
+
+/// A virtual-time instant or duration, in nanoseconds.
+pub type Ns = u64;
+
+/// The page size used throughout DiLOS, matching the x86-64 base page.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Base-2 logarithm of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Converts a CPU cycle count to nanoseconds at the given clock rate.
+///
+/// The paper's testbed runs at 2.3 GHz; §6.2 expresses the AIFM TCP handicap
+/// as "14,000 cycles", which this helper converts.
+pub fn cycles_to_ns(cycles: u64, ghz: f64) -> Ns {
+    (cycles as f64 / ghz) as Ns
+}
+
+/// One simulated CPU core's monotonically increasing clock.
+///
+/// The simulation is logically single-threaded: workload drivers interleave
+/// per-core work explicitly and the shared resources ([`Timeline`]s) resolve
+/// contention. A `CoreClock` never moves backwards.
+///
+/// [`Timeline`]: crate::timeline::Timeline
+#[derive(Debug, Clone, Default)]
+pub struct CoreClock {
+    now: Ns,
+}
+
+impl CoreClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self { now: 0 }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Charges `dur` nanoseconds of work to this core.
+    pub fn advance(&mut self, dur: Ns) {
+        self.now += dur;
+    }
+
+    /// Blocks this core until `deadline` (no-op if already past it).
+    pub fn wait_until(&mut self, deadline: Ns) {
+        self.now = self.now.max(deadline);
+    }
+}
+
+/// A small set of per-core clocks plus helpers for barrier-style joins.
+///
+/// Multi-threaded workloads (GAPBS runs with four threads in §6.2) are
+/// simulated by advancing each core's clock independently and synchronizing
+/// at algorithmic barriers.
+#[derive(Debug, Clone)]
+pub struct Cores {
+    clocks: Vec<CoreClock>,
+}
+
+impl Cores {
+    /// Creates `n` cores, all at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "at least one core is required");
+        Self {
+            clocks: vec![CoreClock::new(); n],
+        }
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Returns true if there is exactly one core (never zero).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns core `id`'s current time.
+    pub fn now(&self, id: usize) -> Ns {
+        self.clocks[id].now()
+    }
+
+    /// Charges `dur` to core `id`.
+    pub fn advance(&mut self, id: usize, dur: Ns) {
+        self.clocks[id].advance(dur);
+    }
+
+    /// Blocks core `id` until `deadline`.
+    pub fn wait_until(&mut self, id: usize, deadline: Ns) {
+        self.clocks[id].wait_until(deadline);
+    }
+
+    /// Synchronizes all cores to the latest clock (a barrier).
+    ///
+    /// Returns the barrier time.
+    pub fn barrier(&mut self) -> Ns {
+        let t = self.max_now();
+        for c in &mut self.clocks {
+            c.wait_until(t);
+        }
+        t
+    }
+
+    /// Returns the maximum clock across cores (completion time of a
+    /// fork/join region).
+    pub fn max_now(&self) -> Ns {
+        self.clocks.iter().map(CoreClock::now).max().unwrap_or(0)
+    }
+
+    /// Returns the id of the core with the smallest clock.
+    ///
+    /// Workload drivers use this to interleave per-core work in virtual-time
+    /// order, which keeps contention on shared timelines causally sensible.
+    pub fn earliest(&self) -> usize {
+        let mut best = 0;
+        for (i, c) in self.clocks.iter().enumerate() {
+            if c.now() < self.clocks[best].now() {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_waits() {
+        let mut c = CoreClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(100);
+        assert_eq!(c.now(), 100);
+        c.wait_until(50);
+        assert_eq!(c.now(), 100, "waiting for the past is a no-op");
+        c.wait_until(250);
+        assert_eq!(c.now(), 250);
+    }
+
+    #[test]
+    fn cores_barrier_syncs_to_max() {
+        let mut cores = Cores::new(3);
+        cores.advance(0, 10);
+        cores.advance(1, 30);
+        cores.advance(2, 20);
+        assert_eq!(cores.earliest(), 0);
+        let t = cores.barrier();
+        assert_eq!(t, 30);
+        for i in 0..3 {
+            assert_eq!(cores.now(i), 30);
+        }
+    }
+
+    #[test]
+    fn cycles_conversion_matches_paper_handicap() {
+        // 14,000 cycles at 2.3 GHz is roughly 6.09 µs (§6.2 footnote 2).
+        let ns = cycles_to_ns(14_000, 2.3);
+        assert!((6_000..6_200).contains(&ns), "got {ns}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = Cores::new(0);
+    }
+}

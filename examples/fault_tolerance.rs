@@ -1,0 +1,72 @@
+//! Memory-node failure, survived: the §5.1 future-work extension running.
+//!
+//! Boots DiLOS against a pool of three memory nodes with 2-way page
+//! replication, pushes a working set out to the pool, kills a node, and
+//! keeps running.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use dilos::core::{Dilos, DilosConfig, Readahead};
+
+fn main() {
+    let mut node = Dilos::new(DilosConfig {
+        local_pages: 128,
+        remote_bytes: 1 << 26,
+        memory_nodes: 3,
+        replication: 2,
+        ..DilosConfig::default()
+    });
+    node.set_prefetcher(Box::new(Readahead::new()));
+    println!("compute node up: 3 memory nodes, 2-way replication, 512 KiB local cache\n");
+
+    // A 4 MiB working set: most of it lives on the memory-node pool.
+    let pages = 1024u64;
+    let va = node.ddc_alloc(pages as usize * 4096);
+    for p in 0..pages {
+        node.write_u64(0, va + p * 4096, p.wrapping_mul(0xABCD));
+    }
+    let (tx, _) = node.rdma().total_bytes();
+    println!(
+        "populated {} pages; {:.1} MiB written back to the pool (2 copies each)",
+        pages,
+        tx as f64 / (1 << 20) as f64
+    );
+
+    // Disaster strikes.
+    node.fail_memory_node(1);
+    println!("\n*** memory node 1 just died ***\n");
+
+    // The application never notices: every page reads back correctly.
+    let t0 = node.now(0);
+    let mut errors = 0u64;
+    for p in 0..pages {
+        if node.read_u64(0, va + p * 4096) != p.wrapping_mul(0xABCD) {
+            errors += 1;
+        }
+    }
+    let elapsed = node.now(0) - t0;
+    println!("re-read all {pages} pages: {errors} corrupted");
+    println!(
+        "failovers: {} reads served by replicas; one-time detection cost {:.2} ms",
+        node.rdma().failovers(),
+        node.config().sim.failover_detect_ns as f64 / 1e6
+    );
+    println!(
+        "re-read took {:.2} ms of virtual time",
+        elapsed as f64 / 1e6
+    );
+
+    // And the system keeps making progress on the survivors.
+    let vb = node.ddc_alloc(512 * 4096);
+    for p in 0..512u64 {
+        node.write_u64(0, vb + p * 4096, p);
+    }
+    for p in 0..512u64 {
+        assert_eq!(node.read_u64(0, vb + p * 4096), p);
+    }
+    println!(
+        "\nnew working set allocated, evicted, and re-fetched on the surviving nodes — all good"
+    );
+}

@@ -1,0 +1,171 @@
+//! End-to-end tests of the compatibility layer (§5) and the guide plumbing:
+//! unmodified "binaries" get their allocators patched, guides attach as
+//! third-party modules, and the umbrella crate exposes everything.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dilos::alloc::{Heap, PageLiveness};
+use dilos::core::{
+    Dilos, DilosConfig, GuideOps, HeapPagingGuide, PrefetchGuide, SymbolKind, SymbolPatcher,
+    SymbolTable, MAP_DDC,
+};
+
+#[test]
+fn loader_patches_an_unmodified_binary() {
+    // The "binary": a symbol table as the ELF loader would see it.
+    let mut redis = SymbolTable::new();
+    for sym in ["malloc", "free", "calloc", "realloc"] {
+        redis.declare(sym, SymbolKind::Alloc);
+    }
+    redis.declare("lookupKeyRead", SymbolKind::Hookable);
+    redis.declare("listTypeNext", SymbolKind::Hookable);
+    redis.declare("main", SymbolKind::Other);
+
+    let report = SymbolPatcher::new().patch(&mut redis, &["lookupKeyRead", "listTypeNext"]);
+    assert_eq!(
+        report.patched.len(),
+        4,
+        "all malloc-family symbols rerouted"
+    );
+    assert_eq!(report.hooked.len(), 2, "guide hooks installed");
+    assert_eq!(redis.resolve("malloc"), Some("ddc_malloc"));
+    assert_eq!(redis.resolve("main"), Some("main"), "app code untouched");
+}
+
+#[test]
+fn mmap_map_ddc_selects_disaggregated_backing() {
+    let mut node = Dilos::new(DilosConfig {
+        local_pages: 64,
+        remote_bytes: 1 << 24,
+        ..DilosConfig::default()
+    });
+    let ddc = node.mmap(1 << 16, MAP_DDC);
+    let local = node.mmap(1 << 16, 0);
+    assert_ne!(ddc >> 40, local >> 40, "separate address regions");
+
+    // Fill both regions beyond the cache; only DDC traffic hits the wire.
+    for p in 0..64u64 {
+        node.write_u64(0, local + p * 4096, p);
+    }
+    assert_eq!(node.stats().zero_fills, 0, "local-only memory never faults");
+    for p in 0..16u64 {
+        node.write_u64(0, ddc + p * 4096, p);
+    }
+    assert_eq!(node.stats().zero_fills, 16);
+}
+
+/// A guide is a separate module: this one counts faults it observes and
+/// prefetches a fixed stride, knowing nothing about the application.
+struct StrideGuide {
+    stride: u64,
+    fired: usize,
+}
+
+impl PrefetchGuide for StrideGuide {
+    fn on_fault(&mut self, va: u64, ops: &mut dyn GuideOps) {
+        ops.prefetch_page(va + self.stride * 4096);
+        self.fired += 1;
+    }
+}
+
+#[test]
+fn third_party_guides_attach_without_touching_the_app() {
+    let mut node = Dilos::new(DilosConfig {
+        local_pages: 64,
+        remote_bytes: 1 << 24,
+        ..DilosConfig::default()
+    });
+    let guide = Rc::new(RefCell::new(StrideGuide {
+        stride: 2,
+        fired: 0,
+    }));
+    node.set_prefetch_guide(guide.clone());
+
+    // The "application": a plain strided scan, unaware of the guide.
+    let va = node.ddc_alloc(512 * 4096);
+    for p in 0..512u64 {
+        node.write_u64(0, va + p * 4096, p);
+    }
+    let mut acc = 0u64;
+    for p in (0..512u64).step_by(2) {
+        acc = acc.wrapping_add(node.read_u64(0, va + p * 4096));
+    }
+    assert_eq!(acc, (0..512u64).step_by(2).sum::<u64>());
+    assert!(guide.borrow().fired > 0, "the guide saw faults");
+    assert!(
+        node.stats().prefetch_issued > 0,
+        "and prefetched through the API"
+    );
+}
+
+#[test]
+fn paging_guide_and_allocator_compose_through_the_umbrella_crate() {
+    let mut node = Dilos::new(DilosConfig {
+        local_pages: 64,
+        remote_bytes: 1 << 24,
+        ..DilosConfig::default()
+    });
+    let region = node.ddc_alloc(1 << 22);
+    let heap = Rc::new(RefCell::new(Heap::new(region, 1 << 22)));
+    node.set_paging_guide(Rc::new(RefCell::new(HeapPagingGuide::new(
+        Rc::clone(&heap),
+        3,
+    ))));
+
+    // Allocate objects, free most, verify liveness drives the transfers.
+    let mut vas = Vec::new();
+    for _ in 0..256 {
+        vas.push(heap.borrow_mut().malloc(256).expect("sized"));
+    }
+    for va in vas.iter().skip(1).step_by(2) {
+        heap.borrow_mut().free(*va).expect("live");
+    }
+    for va in vas.iter().step_by(2) {
+        node.write(0, *va, &[0x7E; 256]);
+    }
+    let probe_page = vas[0] & !4095;
+    match heap.borrow().live_segments(probe_page, 3) {
+        PageLiveness::Partial(segs) => assert!(segs.len() <= 3),
+        PageLiveness::Full | PageLiveness::Empty => {}
+    }
+    // Churn to force guided evictions, then read everything back.
+    let churn = node.ddc_alloc(256 * 4096);
+    for p in 0..256u64 {
+        node.write_u64(0, churn + p * 4096, p);
+    }
+    for va in vas.iter().step_by(2) {
+        let mut buf = [0u8; 256];
+        node.read(0, *va, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0x7E));
+    }
+    assert!(node.stats().guided_evictions > 0);
+    assert!(node.stats().writeback_bytes_saved > 0);
+}
+
+#[test]
+fn virtual_time_is_fully_deterministic_end_to_end() {
+    let run = || {
+        let mut node = Dilos::new(DilosConfig {
+            local_pages: 96,
+            remote_bytes: 1 << 24,
+            ..DilosConfig::default()
+        });
+        node.set_prefetcher(Box::new(dilos::core::TrendBased::new()));
+        let va = node.ddc_alloc(400 * 4096);
+        for p in 0..400u64 {
+            node.write_u64(0, va + p * 4096, p ^ 0xAA);
+        }
+        let mut acc = 0u64;
+        for p in (0..400u64).rev() {
+            acc ^= node.read_u64(0, va + p * 4096);
+        }
+        (
+            acc,
+            node.now(0),
+            node.stats().major_faults,
+            node.stats().evictions,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,157 @@
+//! Compatibility, executable: every workload computes bit-identical results
+//! on DiLOS, Fastswap, and AIFM, at every local-memory ratio.
+//!
+//! This is the reproduction's version of the paper's central claim — the
+//! memory system is transparent to the application.
+
+use dilos::apps::dataframe::TaxiWorkload;
+use dilos::apps::farmem::{FarArray, SystemKind, SystemSpec};
+use dilos::apps::gapbs::GraphWorkload;
+use dilos::apps::kmeans::KmeansWorkload;
+use dilos::apps::quicksort::QuicksortWorkload;
+use dilos::apps::snappy::SnappyWorkload;
+
+const SYSTEMS: [SystemKind; 4] = [
+    SystemKind::DilosReadahead,
+    SystemKind::DilosTrend,
+    SystemKind::Fastswap,
+    SystemKind::Aifm,
+];
+
+#[test]
+fn quicksort_checksum_is_system_independent() {
+    let wl = QuicksortWorkload {
+        elements: 6_000,
+        seed: 77,
+    };
+    let mut reference = None;
+    for kind in SYSTEMS {
+        for ratio in [13u32, 100] {
+            let mut mem = SystemSpec::for_working_set(kind, 6_000 * 8, ratio).boot();
+            let arr = wl.populate(mem.as_mut());
+            wl.sort(mem.as_mut(), arr);
+            assert!(wl.verify(mem.as_mut(), arr), "{} @ {ratio}%", kind.label());
+            // Positional checksum: catches any permutation difference.
+            let mut sum = 0u64;
+            for i in 0..arr.len() {
+                sum = sum
+                    .wrapping_mul(31)
+                    .wrapping_add(arr.get(mem.as_mut(), 0, i));
+            }
+            match reference {
+                None => reference = Some(sum),
+                Some(r) => assert_eq!(r, sum, "{} @ {ratio}%", kind.label()),
+            }
+        }
+    }
+}
+
+#[test]
+fn kmeans_centroids_are_system_independent() {
+    let wl = KmeansWorkload {
+        points: 6_000,
+        k: 6,
+        max_iters: 6,
+        seed: 5,
+    };
+    let mut reference: Option<Vec<f64>> = None;
+    for kind in SYSTEMS {
+        let mut mem = SystemSpec::for_working_set(kind, 6_000 * 16, 25).boot();
+        let pts = wl.populate(mem.as_mut());
+        let r = wl.run(mem.as_mut(), pts);
+        match &reference {
+            None => reference = Some(r.centroids),
+            Some(c) => assert_eq!(*c, r.centroids, "{}", kind.label()),
+        }
+    }
+}
+
+#[test]
+fn taxi_analysis_is_system_independent() {
+    let wl = TaxiWorkload {
+        rows: 4_000,
+        seed: 9,
+    };
+    let mut reference = None;
+    for kind in SYSTEMS {
+        let mut mem = SystemSpec::for_working_set(kind, wl.working_set(), 25).boot();
+        let t = wl.populate(mem.as_mut());
+        let mut a = wl.analyze(mem.as_mut(), &t);
+        a.elapsed = 0;
+        match &reference {
+            None => reference = Some(a),
+            Some(r) => assert_eq!(*r, a, "{}", kind.label()),
+        }
+    }
+}
+
+#[test]
+fn pagerank_and_bc_are_system_independent() {
+    let wl = GraphWorkload {
+        scale: 8,
+        edge_factor: 8,
+        seed: 1,
+        threads: 2,
+    };
+    let mut pr_ref: Option<Vec<f64>> = None;
+    let mut bc_ref: Option<Vec<f64>> = None;
+    for kind in [SystemKind::DilosReadahead, SystemKind::Fastswap] {
+        let mut spec = SystemSpec::for_working_set(kind, wl.working_set(), 25);
+        spec.cores = 2;
+        let mut mem = spec.boot();
+        let g = wl.build(mem.as_mut());
+        let (pr, _) = wl.pagerank(mem.as_mut(), &g, 5);
+        let (bc, _) = wl.betweenness(mem.as_mut(), &g, 2);
+        match &pr_ref {
+            None => pr_ref = Some(pr),
+            Some(r) => assert_eq!(*r, pr, "{} PR", kind.label()),
+        }
+        match &bc_ref {
+            None => bc_ref = Some(bc),
+            Some(r) => assert_eq!(*r, bc, "{} BC", kind.label()),
+        }
+    }
+}
+
+#[test]
+fn snappy_output_is_system_independent_and_correct() {
+    let wl = SnappyWorkload {
+        input_bytes: 128 * 1024,
+        seed: 11,
+    };
+    let mut sizes = Vec::new();
+    for kind in SYSTEMS {
+        let mut mem = SystemSpec::for_working_set(kind, wl.input_bytes as u64 * 2, 13).boot();
+        let src = wl.populate(mem.as_mut());
+        let r = wl.compress_far(mem.as_mut(), src);
+        sizes.push(r.out_bytes);
+    }
+    assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
+}
+
+#[test]
+fn far_array_bulk_ops_survive_pressure_everywhere() {
+    for kind in SYSTEMS {
+        let mut mem = SystemSpec::for_working_set(kind, 1 << 20, 13).boot();
+        let arr = FarArray::new(mem.as_mut(), 32_768);
+        let vals: Vec<u64> = (0..32_768u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        for chunk in 0..64 {
+            arr.write_range(
+                mem.as_mut(),
+                0,
+                chunk * 512,
+                &vals[chunk * 512..(chunk + 1) * 512],
+            );
+        }
+        let mut out = vec![0u64; 512];
+        for chunk in (0..64).rev() {
+            arr.read_range(mem.as_mut(), 0, chunk * 512, &mut out);
+            assert_eq!(
+                out,
+                vals[chunk * 512..(chunk + 1) * 512],
+                "{}",
+                kind.label()
+            );
+        }
+    }
+}
