@@ -50,6 +50,19 @@ pub trait FarMemory {
         None
     }
 
+    /// Order-sensitive digest of the structured event trace; 0 when the
+    /// system was booted without [`SystemSpec::trace`]. Equal seeds and
+    /// configurations must produce equal digests.
+    fn trace_digest(&self) -> u64 {
+        0
+    }
+
+    /// Invariant-auditor findings (empty on a healthy run, and always empty
+    /// when the system does not support auditing or it is off).
+    fn audit_report(&self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Reads a little-endian `u64`.
     fn read_u64(&mut self, core: usize, va: u64) -> u64 {
         let mut b = [0u8; 8];
@@ -138,6 +151,12 @@ impl FarMemory for Dilos {
     fn as_dilos(&self) -> Option<&Dilos> {
         Some(self)
     }
+    fn trace_digest(&self) -> u64 {
+        Dilos::trace_digest(self)
+    }
+    fn audit_report(&self) -> Vec<String> {
+        Dilos::audit_report(self)
+    }
 }
 
 impl FarMemory for Fastswap {
@@ -176,6 +195,9 @@ impl FarMemory for Fastswap {
         let bw = self.rdma().fabric().bandwidth();
         (bw.total_tx(), bw.total_rx())
     }
+    fn trace_digest(&self) -> u64 {
+        Fastswap::trace_digest(self)
+    }
 }
 
 impl FarMemory for Aifm {
@@ -213,6 +235,9 @@ impl FarMemory for Aifm {
     fn net_bytes(&self) -> (u64, u64) {
         let bw = self.rdma().fabric().bandwidth();
         (bw.total_tx(), bw.total_rx())
+    }
+    fn trace_digest(&self) -> u64 {
+        Aifm::trace_digest(self)
     }
 }
 
@@ -268,6 +293,12 @@ pub struct SystemSpec {
     pub remote_bytes: u64,
     /// Simulated cores.
     pub cores: usize,
+    /// Record a structured event trace; read it via
+    /// [`FarMemory::trace_digest`].
+    pub trace: bool,
+    /// Attach the invariant auditor (DiLOS only; implies `trace`); collect
+    /// findings via [`FarMemory::audit_report`].
+    pub audit: bool,
 }
 
 impl SystemSpec {
@@ -282,7 +313,22 @@ impl SystemSpec {
             // Headroom for allocator metadata and rounding.
             remote_bytes: (working_set * 2).next_power_of_two().max(1 << 24),
             cores: 1,
+            trace: false,
+            audit: false,
         }
+    }
+
+    /// Enables event tracing on the booted system.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Enables the invariant auditor (and tracing) on the booted system.
+    pub fn with_audit(mut self) -> Self {
+        self.trace = true;
+        self.audit = true;
+        self
     }
 
     /// Boots the system.
@@ -292,12 +338,14 @@ impl SystemSpec {
                 local_pages: self.local_pages,
                 remote_bytes: self.remote_bytes,
                 cores: self.cores,
+                trace: self.trace,
                 ..FastswapConfig::default()
             })),
             SystemKind::Aifm => Box::new(Aifm::new(AifmConfig {
                 local_chunks: self.local_pages,
                 remote_bytes: self.remote_bytes,
                 cores: self.cores,
+                trace: self.trace,
                 ..AifmConfig::default()
             })),
             kind => {
@@ -306,6 +354,8 @@ impl SystemSpec {
                     remote_bytes: self.remote_bytes,
                     cores: self.cores,
                     tcp_mode: kind == SystemKind::DilosTcp,
+                    trace: self.trace,
+                    audit: self.audit,
                     ..DilosConfig::default()
                 });
                 match kind {

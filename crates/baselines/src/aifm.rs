@@ -20,7 +20,10 @@
 
 use std::collections::HashMap;
 
-use dilos_sim::{CoreClock, Ns, RdmaEndpoint, ServiceClass, SimConfig, PAGE_SIZE};
+use dilos_sim::{
+    CoreClock, FaultKind, Ns, RdmaEndpoint, ServiceClass, SimConfig, TraceEvent, TraceSink,
+    PAGE_SIZE,
+};
 
 /// AIFM runtime costs, in virtual nanoseconds.
 #[derive(Debug, Clone)]
@@ -61,6 +64,9 @@ pub struct AifmConfig {
     pub prefetch_depth: usize,
     /// Use TCP (AIFM's transport; adds the per-completion handicap).
     pub tcp: bool,
+    /// Record a structured event trace (see [`Aifm::trace`] /
+    /// [`Aifm::trace_digest`]).
+    pub trace: bool,
 }
 
 impl Default for AifmConfig {
@@ -73,6 +79,7 @@ impl Default for AifmConfig {
             costs: AifmCosts::default(),
             prefetch_depth: 16,
             tcp: true,
+            trace: false,
         }
     }
 }
@@ -101,6 +108,10 @@ enum ChunkState {
         dirty: bool,
         accessed: bool,
         ready_at: Ns,
+        /// Streamed in by the prefetcher and not yet dereferenced — pairs
+        /// the traced `PrefetchIssue` with its `Land` (first deref) or
+        /// `Cancel` (evacuated or freed untouched).
+        prefetched: bool,
     },
     Remote,
 }
@@ -123,6 +134,8 @@ pub struct Aifm {
     stream_window: usize,
     stats: AifmStats,
     brk: u64,
+    /// Structured event trace (dark unless `cfg.trace`).
+    trace: TraceSink,
 }
 
 impl std::fmt::Debug for Aifm {
@@ -145,8 +158,15 @@ impl Aifm {
         assert!(cfg.local_chunks >= 16, "cache too small");
         let mut rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
         rdma.set_tcp_mode(cfg.tcp);
+        let trace = if cfg.trace {
+            TraceSink::recording()
+        } else {
+            TraceSink::disabled()
+        };
+        rdma.set_trace(trace.clone());
         Self {
             rdma,
+            trace,
             chunks: HashMap::new(),
             allocs: Vec::new(),
             local_count: 0,
@@ -169,6 +189,18 @@ impl Aifm {
     /// The RDMA endpoint.
     pub fn rdma(&self) -> &RdmaEndpoint {
         &self.rdma
+    }
+
+    /// The structured event trace (dark unless [`AifmConfig::trace`]).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Order-sensitive digest over every traced event (0 when tracing is
+    /// off). Identical seeds and configurations must produce identical
+    /// digests.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace.digest()
     }
 
     /// Current virtual time on `core`.
@@ -210,10 +242,14 @@ impl Aifm {
 
     /// Frees the object at `va` spanning `len` bytes.
     pub fn free(&mut self, va: u64, len: usize) {
+        let t = self.max_now();
         let start = va >> 12;
         let end = (va + len as u64 + CHUNK as u64 - 1) >> 12;
         for c in start..end {
-            if let Some(ChunkState::Local { .. }) = self.chunks.remove(&c) {
+            if let Some(ChunkState::Local { prefetched, .. }) = self.chunks.remove(&c) {
+                if prefetched {
+                    self.trace.emit(t, TraceEvent::PrefetchCancel { vpn: c });
+                }
                 self.local_count -= 1;
                 self.lru.retain(|&v| v != c);
             }
@@ -283,9 +319,13 @@ impl Aifm {
         self.clocks[core].advance(self.cfg.costs.deref_check_ns);
         match self.chunks.get_mut(&chunk) {
             Some(ChunkState::Local {
-                accessed, ready_at, ..
+                accessed,
+                ready_at,
+                prefetched,
+                ..
             }) => {
                 *accessed = true;
+                let landed = std::mem::take(prefetched);
                 let ready = *ready_at;
                 let now = self.clocks[core].now();
                 if ready > now {
@@ -293,6 +333,11 @@ impl Aifm {
                     // edge over paging on tight sequential scans.
                     self.stats.inflight_waits += 1;
                     self.clocks[core].wait_until(ready);
+                }
+                if landed {
+                    // First dereference consumes the streamed chunk.
+                    self.trace
+                        .emit(ready.max(now), TraceEvent::PrefetchLand { vpn: chunk });
                 }
             }
             Some(ChunkState::Remote) => self.miss(core, chunk),
@@ -306,6 +351,7 @@ impl Aifm {
                         dirty: false,
                         accessed: true,
                         ready_at: 0,
+                        prefetched: false,
                     },
                 );
                 self.local_count += 1;
@@ -317,6 +363,14 @@ impl Aifm {
     /// Demand-fetch a chunk and stream ahead.
     fn miss(&mut self, core: usize, chunk: u64) {
         self.stats.misses += 1;
+        self.trace.emit(
+            self.clocks[core].now(),
+            TraceEvent::FaultBegin {
+                core: core as u8,
+                vpn: chunk,
+                kind: FaultKind::Major,
+            },
+        );
         self.make_room(core, 1, Some(chunk));
         let costs = self.cfg.costs.clone();
         let t = self.clocks[core].now() + costs.miss_handling_ns;
@@ -333,6 +387,7 @@ impl Aifm {
                 dirty: false,
                 accessed: true,
                 ready_at: 0,
+                prefetched: false,
             },
         );
         self.local_count += 1;
@@ -352,6 +407,13 @@ impl Aifm {
             self.prefetch(core, chunk + i, t, chunk);
         }
         self.clocks[core].wait_until(done);
+        self.trace.emit(
+            done,
+            TraceEvent::FaultEnd {
+                core: core as u8,
+                vpn: chunk,
+            },
+        );
     }
 
     /// Streams one chunk ahead; never evicts `protect` (the chunk the
@@ -371,10 +433,13 @@ impl Aifm {
         }
         let remote = (chunk - (BASE_VA >> 12)) << 12;
         let mut data = vec![0u8; CHUNK].into_boxed_slice();
+        self.trace.emit(t, TraceEvent::PrefetchIssue { vpn: chunk });
         let Ok(done) = self
             .rdma
             .read(t, core, ServiceClass::Prefetch, remote, &mut data)
         else {
+            self.trace
+                .emit(t, TraceEvent::PrefetchCancel { vpn: chunk });
             return;
         };
         self.chunks.insert(
@@ -384,6 +449,7 @@ impl Aifm {
                 dirty: false,
                 accessed: false,
                 ready_at: done,
+                prefetched: true,
             },
         );
         self.local_count += 1;
@@ -434,9 +500,19 @@ impl Aifm {
                 continue;
             }
             let dirty = *dirty;
-            let Some(ChunkState::Local { data, .. }) = self.chunks.remove(&victim) else {
+            let Some(ChunkState::Local {
+                data, prefetched, ..
+            }) = self.chunks.remove(&victim)
+            else {
                 unreachable!("checked above");
             };
+            if prefetched {
+                // Evacuated before ever being dereferenced.
+                self.trace
+                    .emit(now, TraceEvent::PrefetchCancel { vpn: victim });
+            }
+            self.trace
+                .emit(now, TraceEvent::Evict { vpn: victim, dirty });
             if dirty {
                 let remote = (victim - (BASE_VA >> 12)) << 12;
                 self.rdma

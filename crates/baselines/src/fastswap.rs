@@ -17,7 +17,8 @@
 use std::collections::HashMap;
 
 use dilos_sim::{
-    CoreClock, LruChain, Ns, RdmaEndpoint, ServiceClass, SimConfig, Timeline, PAGE_SIZE,
+    CoreClock, FaultKind, LruChain, Ns, RdmaEndpoint, ServiceClass, SimConfig, Timeline,
+    TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 /// Fastswap software costs, in virtual nanoseconds.
@@ -81,6 +82,9 @@ pub struct FastswapConfig {
     pub costs: FastswapCosts,
     /// Readahead cluster size (Linux `page-cluster` default: 8 pages).
     pub readahead_cluster: usize,
+    /// Record a structured event trace (see [`Fastswap::trace`] /
+    /// [`Fastswap::trace_digest`]).
+    pub trace: bool,
 }
 
 impl Default for FastswapConfig {
@@ -92,6 +96,7 @@ impl Default for FastswapConfig {
             sim: SimConfig::default(),
             costs: FastswapCosts::default(),
             readahead_cluster: 8,
+            trace: false,
         }
     }
 }
@@ -198,6 +203,8 @@ pub struct Fastswap {
     reclaim_round: u32,
     stats: FastswapStats,
     brk: u64,
+    /// Structured event trace (dark unless `cfg.trace`).
+    trace: TraceSink,
 }
 
 impl std::fmt::Debug for Fastswap {
@@ -220,9 +227,16 @@ impl Fastswap {
     pub fn new(cfg: FastswapConfig) -> Self {
         assert!(cfg.cores > 0, "at least one core");
         assert!(cfg.local_pages >= 16, "cache too small for the cluster");
-        let rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
+        let mut rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
+        let trace = if cfg.trace {
+            TraceSink::recording()
+        } else {
+            TraceSink::disabled()
+        };
+        rdma.set_trace(trace.clone());
         Self {
             rdma,
+            trace,
             state: HashMap::new(),
             frames: (0..cfg.local_pages)
                 .map(|_| Box::new([0u8; PAGE_SIZE]))
@@ -247,6 +261,18 @@ impl Fastswap {
     /// The RDMA endpoint (bandwidth accounting).
     pub fn rdma(&self) -> &RdmaEndpoint {
         &self.rdma
+    }
+
+    /// The structured event trace (dark unless [`FastswapConfig::trace`]).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Order-sensitive digest over every traced event (0 when tracing is
+    /// off). Identical seeds and configurations must produce identical
+    /// digests.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace.digest()
     }
 
     /// Current virtual time on `core`.
@@ -287,17 +313,25 @@ impl Fastswap {
 
     /// Unmaps `len` bytes at `va`.
     pub fn free(&mut self, va: u64, len: usize) {
+        let t = self.max_now();
         let start = va >> 12;
         let end = (va + len as u64 + PAGE_SIZE as u64 - 1) >> 12;
         for vpn in start..end {
             if let Some(state) = self.state.remove(&vpn) {
                 match state {
                     PageState::Mapped { frame, .. } => {
+                        self.trace.emit(t, TraceEvent::LruRemove { vpn });
                         self.lru.remove(vpn);
+                        self.trace.emit(t, TraceEvent::FrameFree { frame });
                         self.free.push(frame);
                     }
                     PageState::Cached { frame, ready_at } => {
+                        self.trace.emit(t, TraceEvent::LruRemove { vpn });
                         self.lru.remove(vpn);
+                        // The readahead that filled this frame will never be
+                        // consumed.
+                        self.trace.emit(t, TraceEvent::PrefetchCancel { vpn });
+                        self.trace.emit(ready_at, TraceEvent::FrameFree { frame });
                         self.pending_free.push((frame, ready_at));
                     }
                     PageState::Swapped => {}
@@ -400,21 +434,55 @@ impl Fastswap {
     ) -> u32 {
         let costs = self.cfg.costs.clone();
         self.stats.minor_faults += 1;
-        let t = self.clocks[core].now() + costs.minor_fault_ns;
-        self.clocks[core].wait_until(t.max(ready_at));
-        self.map(vpn, frame, is_write);
+        let now = self.clocks[core].now();
+        self.trace.emit(
+            now,
+            TraceEvent::FaultBegin {
+                core: core as u8,
+                vpn,
+                kind: FaultKind::Minor,
+            },
+        );
+        let t = (now + costs.minor_fault_ns).max(ready_at);
+        self.clocks[core].wait_until(t);
+        // First touch consumes the readahead.
+        self.trace.emit(t, TraceEvent::PrefetchLand { vpn });
+        self.map(t, vpn, frame, is_write);
+        self.trace.emit(
+            t,
+            TraceEvent::FaultEnd {
+                core: core as u8,
+                vpn,
+            },
+        );
         frame
     }
 
     fn zero_fill(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
         let costs = self.cfg.costs.clone();
         let now = self.clocks[core].now();
+        self.trace.emit(
+            now,
+            TraceEvent::FaultBegin {
+                core: core as u8,
+                vpn,
+                kind: FaultKind::ZeroFill,
+            },
+        );
         let t = now + costs.exception_ns + costs.page_alloc_ns;
         let (frame, t_frame, _) = self.get_frame(core, t);
         self.frames[frame as usize].fill(0);
-        self.clocks[core].wait_until(t_frame + costs.map_ns);
+        let t_end = t_frame + costs.map_ns;
+        self.clocks[core].wait_until(t_end);
         self.stats.zero_fills += 1;
-        self.map(vpn, frame, is_write);
+        self.map(t_end, vpn, frame, is_write);
+        self.trace.emit(
+            t_end,
+            TraceEvent::FaultEnd {
+                core: core as u8,
+                vpn,
+            },
+        );
         frame
     }
 
@@ -422,6 +490,14 @@ impl Fastswap {
     fn major_fault(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
         let costs = self.cfg.costs.clone();
         let now = self.clocks[core].now();
+        self.trace.emit(
+            now,
+            TraceEvent::FaultBegin {
+                core: core as u8,
+                vpn,
+                kind: FaultKind::Major,
+            },
+        );
         let mut t = now + costs.exception_ns + costs.swap_cache_ns;
         let (frame, t_frame, reclaim_ns) = self.get_frame(core, t + costs.page_alloc_ns);
         t = t_frame;
@@ -453,7 +529,14 @@ impl Fastswap {
         b.reclaim += reclaim_ns;
         b.map += costs.map_ns;
         b.count += 1;
-        self.map(vpn, frame, is_write);
+        self.map(t_end, vpn, frame, is_write);
+        self.trace.emit(
+            t_end,
+            TraceEvent::FaultEnd {
+                core: core as u8,
+                vpn,
+            },
+        );
         frame
     }
 
@@ -480,6 +563,8 @@ impl Fastswap {
             };
             let remote = (target - (BASE_VA >> 12)) << 12;
             let mut page = [0u8; PAGE_SIZE];
+            self.trace
+                .emit(t.max(avail), TraceEvent::PrefetchIssue { vpn: target });
             let done = self
                 .rdma
                 .read(
@@ -498,6 +583,8 @@ impl Fastswap {
                     ready_at: done,
                 },
             );
+            self.trace
+                .emit(t.max(avail), TraceEvent::LruInsert { vpn: target });
             self.lru.insert(target);
             self.stats.readahead_pages += 1;
         }
@@ -508,6 +595,7 @@ impl Fastswap {
     /// reclaim batch. Returns `(frame, available_at)`.
     fn frame_for_readahead(&mut self, t: Ns, reclaim_budget: &mut u32) -> Option<(u32, Ns)> {
         if let Some(f) = self.free.pop() {
+            self.trace.emit(t, TraceEvent::FrameAlloc { frame: f });
             return Some((f, t));
         }
         if self.pending_free.is_empty() {
@@ -521,6 +609,7 @@ impl Fastswap {
             self.reclaim_gentle(t);
         }
         if let Some(f) = self.free.pop() {
+            self.trace.emit(t, TraceEvent::FrameAlloc { frame: f });
             return Some((f, t));
         }
         let i = self
@@ -530,6 +619,7 @@ impl Fastswap {
             .min_by_key(|(_, &(_, a))| a)
             .map(|(i, _)| i)?;
         let (f, a) = self.pending_free.swap_remove(i);
+        self.trace.emit(a, TraceEvent::FrameAlloc { frame: f });
         Some((f, a))
     }
 
@@ -543,7 +633,7 @@ impl Fastswap {
         self.stats.offloaded_reclaims += 1;
     }
 
-    fn map(&mut self, vpn: u64, frame: u32, is_write: bool) {
+    fn map(&mut self, t: Ns, vpn: u64, frame: u32, is_write: bool) {
         self.state.insert(
             vpn,
             PageState::Mapped {
@@ -551,6 +641,11 @@ impl Fastswap {
                 dirty: is_write,
             },
         );
+        // A swap-cached page is already an LRU member; mapping it is a
+        // touch, not an insert.
+        if !self.lru.contains(vpn) {
+            self.trace.emit(t, TraceEvent::LruInsert { vpn });
+        }
         self.lru.insert(vpn);
     }
 
@@ -565,6 +660,7 @@ impl Fastswap {
         let mut spins = 0;
         loop {
             if let Some(f) = self.free.pop() {
+                self.trace.emit(now, TraceEvent::FrameAlloc { frame: f });
                 return (f, now, direct_ns);
             }
             // The free list is empty: kernel reclaim runs *now*, before the
@@ -588,6 +684,7 @@ impl Fastswap {
                 .position(|&(_, avail)| avail <= now)
             {
                 let (f, _) = self.pending_free.swap_remove(i);
+                self.trace.emit(now, TraceEvent::FrameAlloc { frame: f });
                 return (f, now, direct_ns);
             }
             if self.free.is_empty() {
@@ -637,11 +734,16 @@ impl Fastswap {
         };
         match st {
             PageState::Cached { frame, .. } => {
-                // Drop from the swap cache: clean by construction.
+                // Drop from the swap cache: clean by construction. The
+                // readahead that fetched this page goes unconsumed.
+                let at = if offloaded { t } else { t + spent };
+                self.trace.emit(at, TraceEvent::PrefetchCancel { vpn });
+                self.trace.emit(at, TraceEvent::Evict { vpn, dirty: false });
                 self.state.insert(vpn, PageState::Swapped);
+                self.trace.emit(at, TraceEvent::LruRemove { vpn });
                 self.lru.remove(vpn);
-                self.pending_free
-                    .push((frame, if offloaded { t } else { t + spent }));
+                self.trace.emit(at, TraceEvent::FrameFree { frame });
+                self.pending_free.push((frame, at));
                 self.stats.evictions += 1;
             }
             PageState::Mapped { frame, dirty, .. } => {
@@ -664,8 +766,13 @@ impl Fastswap {
                         available_at = t + spent;
                     }
                 }
+                self.trace
+                    .emit(available_at, TraceEvent::Evict { vpn, dirty });
                 self.state.insert(vpn, PageState::Swapped);
+                self.trace.emit(available_at, TraceEvent::LruRemove { vpn });
                 self.lru.remove(vpn);
+                self.trace
+                    .emit(available_at, TraceEvent::FrameFree { frame });
                 self.pending_free.push((frame, available_at));
                 self.stats.evictions += 1;
             }

@@ -126,7 +126,11 @@ pub fn tab01_tab03_fault_counts(scale: MicroScale) -> Report {
         SystemKind::DilosTrend,
     ] {
         let ws = (scale.pages * PAGE_SIZE) as u64;
-        let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio).boot();
+        // Audited boot: the run doubles as an invariant check, and the
+        // digest pins the exact event stream this table was computed from.
+        let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio)
+            .with_audit()
+            .boot();
         let wl = SeqWorkload { pages: scale.pages };
         let base = wl.populate(mem.as_mut());
         wl.read_pass(mem.as_mut(), base);
@@ -138,6 +142,17 @@ pub fn tab01_tab03_fault_counts(scale: MicroScale) -> Report {
             (major + minor).to_string(),
             scale.pages.to_string(),
         ]);
+        let violations = mem.audit_report();
+        report.note(format!(
+            "{}: trace digest {:#018x}, audit {}",
+            kind.label(),
+            mem.trace_digest(),
+            if violations.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} VIOLATIONS: {violations:?}", violations.len())
+            }
+        ));
     }
     report.note("Paper Table 1: Fastswap 12.5 % major / 87.5 % minor.");
     report.note("Paper Table 3: DiLOS prefetchers cut minors ~25 % vs Fastswap.");

@@ -1,0 +1,529 @@
+//! Online invariant auditing over the trace stream.
+//!
+//! The [`Auditor`] attaches to a recording
+//! [`TraceSink`](dilos_sim::TraceSink) and checks, event by event, the
+//! invariants the paging subsystem must never break:
+//!
+//! - **Frame conservation** — a frame is allocated at most once at a time;
+//!   every free matches a prior alloc; `allocs − frees` equals the number
+//!   of frames in use.
+//! - **PTE state-machine legality** — every `PteTransition` follows an edge
+//!   of the DiLOS unified-page-table automaton (§4.1/§4.2): pages reach
+//!   `local` only through zero-fill (`none → local`) or a completed fetch
+//!   (`fetching → local`), leave it only by eviction (`local → remote`,
+//!   `local → action`), and fetches start only from `remote`/`action`.
+//! - **No lost in-flight fetches** — every `PrefetchIssue` is eventually
+//!   consumed by exactly one `PrefetchLand` (mapped or promoted by a minor
+//!   fault) or `PrefetchCancel` (freed before landing); nothing lands or
+//!   cancels twice.
+//! - **LRU membership consistency** — inserts are of non-members, removals
+//!   of members.
+//! - **Fault nesting** — a core never opens a second fault before closing
+//!   the first.
+//! - **Link-bandwidth conservation** — per-class byte totals accumulated
+//!   from `LinkTransfer` events equal the fabric's own accounting (checked
+//!   by [`Dilos::audit_report`](crate::Dilos::audit_report)).
+//!
+//! Violations are recorded as human-readable strings, in event order, and
+//! capped so a broken run cannot exhaust memory. A clean run reports none.
+
+use std::collections::{HashMap, HashSet};
+
+use dilos_sim::{FaultKind, FaultPhase, Ns, PteClass, ServiceClass, TraceEvent, TraceObserver};
+
+/// Cap on recorded violations (further ones are counted, not stored).
+const MAX_VIOLATIONS: usize = 64;
+
+/// Is `from → to` an edge of the DiLOS PTE automaton?
+///
+/// Self-loops are legal (an aborted prefetch re-inserts its action vector:
+/// `action → action`), and any state may drop to `none` via `ddc_free`.
+pub fn legal_pte_transition(from: PteClass, to: PteClass) -> bool {
+    use PteClass as P;
+    from == to
+        || matches!(
+            (from, to),
+            (_, P::None)
+                | (P::None, P::Local)
+                | (P::Remote, P::Fetching)
+                | (P::Action, P::Fetching)
+                | (P::Fetching, P::Local)
+                | (P::Local, P::Remote)
+                | (P::Local, P::Action)
+        )
+}
+
+/// The online invariant checker. Attach with
+/// [`TraceSink::attach`](dilos_sim::TraceSink::attach); it sees every event
+/// synchronously and accumulates both violations and cross-checkable
+/// totals.
+#[derive(Default)]
+pub struct Auditor {
+    violations: Vec<String>,
+    suppressed: u64,
+
+    allocated: HashSet<u32>,
+    allocs: u64,
+    frees: u64,
+
+    outstanding: HashSet<u64>,
+    issues: u64,
+    lands: u64,
+    cancels: u64,
+
+    lru: HashSet<u64>,
+
+    open_fault: HashMap<u8, u64>,
+    majors: u64,
+    minors: u64,
+    zero_fills: u64,
+    fault_ends: u64,
+    phase_sums: [Ns; 6],
+
+    evictions: u64,
+    guide_invocations: u64,
+
+    rdma_issued: [u64; 5],
+    rdma_completed: [u64; 5],
+    link_tx: [u64; 5],
+    link_rx: [u64; 5],
+
+    reclaim_open: bool,
+    reclaim_episodes: u64,
+}
+
+impl std::fmt::Debug for Auditor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Auditor")
+            .field("violations", &self.violation_count())
+            .field("frames_in_use", &self.allocated.len())
+            .field("outstanding_fetches", &self.outstanding.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Auditor {
+    /// A fresh auditor with no recorded history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn flag(&mut self, t: Ns, msg: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(format!("[t={t}] {msg}"));
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// True when no invariant has been violated so far.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// The recorded violations, in event order (capped; see
+    /// [`violation_count`](Self::violation_count) for the true total).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Total violations observed, including any beyond the storage cap.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64 + self.suppressed
+    }
+
+    /// Frames currently allocated according to the trace.
+    pub fn frames_in_use(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// `(allocs, frees)` observed so far.
+    pub fn frame_flow(&self) -> (u64, u64) {
+        (self.allocs, self.frees)
+    }
+
+    /// VPNs with an issued but not yet landed/cancelled fetch, sorted.
+    pub fn outstanding_fetches(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.outstanding.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// `(issued, landed, cancelled)` prefetch lifecycle counts.
+    pub fn prefetch_flow(&self) -> (u64, u64, u64) {
+        (self.issues, self.lands, self.cancels)
+    }
+
+    /// Current LRU membership count according to the trace.
+    pub fn lru_members(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// `(major, minor, zero_fill)` fault counts from `FaultBegin` events.
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        (self.majors, self.minors, self.zero_fills)
+    }
+
+    /// `FaultEnd` events observed (equals the sum of
+    /// [`fault_counts`](Self::fault_counts) on a clean run).
+    pub fn fault_ends(&self) -> u64 {
+        self.fault_ends
+    }
+
+    /// Accumulated duration of one fault phase across all faults.
+    pub fn phase_sum(&self, phase: FaultPhase) -> Ns {
+        self.phase_sums[phase_idx(phase)]
+    }
+
+    /// Evictions observed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Guide invocations observed.
+    pub fn guide_invocations(&self) -> u64 {
+        self.guide_invocations
+    }
+
+    /// Reclaim episodes observed.
+    pub fn reclaim_episodes(&self) -> u64 {
+        self.reclaim_episodes
+    }
+
+    /// `(tx, rx)` bytes the trace attributes to `class` on the wire.
+    pub fn link_bytes(&self, class: ServiceClass) -> (u64, u64) {
+        (self.link_tx[class.idx()], self.link_rx[class.idx()])
+    }
+
+    /// `(issued, completed)` RDMA verbs for `class`.
+    pub fn rdma_flow(&self, class: ServiceClass) -> (u64, u64) {
+        (
+            self.rdma_issued[class.idx()],
+            self.rdma_completed[class.idx()],
+        )
+    }
+
+    /// End-of-run checks that only make sense once the system is quiescent:
+    /// open faults and verb issue/complete pairing. (Outstanding fetches are
+    /// *not* flagged here — the owner cross-checks them against its in-flight
+    /// table, since prefetches may legitimately be pending at shutdown.)
+    pub fn final_checks(&mut self) {
+        let mut open: Vec<(u8, u64)> = self.open_fault.iter().map(|(&c, &v)| (c, v)).collect();
+        open.sort_unstable();
+        for (core, vpn) in open {
+            self.flag(
+                0,
+                format!("fault on core {core} for vpn {vpn:#x} never ended"),
+            );
+        }
+        for class in ServiceClass::ALL {
+            let (i, c) = self.rdma_flow(class);
+            if i != c {
+                self.flag(
+                    0,
+                    format!("{} verbs: {i} issued but {c} completed", class.label()),
+                );
+            }
+        }
+        if self.reclaim_open {
+            self.flag(0, "reclaim episode never ended".to_string());
+        }
+    }
+}
+
+fn phase_idx(phase: FaultPhase) -> usize {
+    match phase {
+        FaultPhase::Exception => 0,
+        FaultPhase::Check => 1,
+        FaultPhase::Alloc => 2,
+        FaultPhase::Fetch => 3,
+        FaultPhase::Map => 4,
+        FaultPhase::Reclaim => 5,
+    }
+}
+
+impl TraceObserver for Auditor {
+    fn on_event(&mut self, t: Ns, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::FaultBegin { core, vpn, kind } => {
+                if let Some(&open) = self.open_fault.get(&core) {
+                    self.flag(
+                        t,
+                        format!(
+                            "core {core} began a fault on vpn {vpn:#x} while one on \
+                             vpn {open:#x} is still open"
+                        ),
+                    );
+                }
+                self.open_fault.insert(core, vpn);
+                match kind {
+                    FaultKind::Major => self.majors += 1,
+                    FaultKind::Minor => self.minors += 1,
+                    FaultKind::ZeroFill => self.zero_fills += 1,
+                }
+            }
+            TraceEvent::FaultPhase { core, phase, dur } => {
+                if !self.open_fault.contains_key(&core) {
+                    self.flag(t, format!("fault phase on core {core} with no open fault"));
+                }
+                self.phase_sums[phase_idx(phase)] += dur;
+            }
+            TraceEvent::FaultEnd { core, vpn } => {
+                if self.open_fault.remove(&core).is_none() {
+                    self.flag(
+                        t,
+                        format!("core {core} ended a fault on vpn {vpn:#x} it never began"),
+                    );
+                }
+                self.fault_ends += 1;
+            }
+            TraceEvent::RdmaIssue { class, .. } => {
+                self.rdma_issued[class.idx()] += 1;
+            }
+            TraceEvent::RdmaComplete { class, .. } => {
+                self.rdma_completed[class.idx()] += 1;
+                if self.rdma_completed[class.idx()] > self.rdma_issued[class.idx()] {
+                    self.flag(
+                        t,
+                        format!("{} verb completed without a matching issue", class.label()),
+                    );
+                }
+            }
+            TraceEvent::LinkTransfer {
+                class,
+                bytes,
+                inbound,
+                ..
+            } => {
+                if inbound {
+                    self.link_rx[class.idx()] += bytes as u64;
+                } else {
+                    self.link_tx[class.idx()] += bytes as u64;
+                }
+            }
+            TraceEvent::MemAccess { .. } => {}
+            TraceEvent::PrefetchIssue { vpn } => {
+                self.issues += 1;
+                if !self.outstanding.insert(vpn) {
+                    self.flag(
+                        t,
+                        format!("prefetch issued for vpn {vpn:#x} which is already in flight"),
+                    );
+                }
+            }
+            TraceEvent::PrefetchLand { vpn } => {
+                self.lands += 1;
+                if !self.outstanding.remove(&vpn) {
+                    self.flag(
+                        t,
+                        format!("fetch for vpn {vpn:#x} landed without a matching issue"),
+                    );
+                }
+            }
+            TraceEvent::PrefetchCancel { vpn } => {
+                self.cancels += 1;
+                if !self.outstanding.remove(&vpn) {
+                    self.flag(
+                        t,
+                        format!("fetch for vpn {vpn:#x} cancelled without a matching issue"),
+                    );
+                }
+            }
+            TraceEvent::FrameAlloc { frame } => {
+                self.allocs += 1;
+                if !self.allocated.insert(frame) {
+                    self.flag(
+                        t,
+                        format!("frame {frame} allocated while already allocated"),
+                    );
+                }
+            }
+            TraceEvent::FrameFree { frame } => {
+                self.frees += 1;
+                if !self.allocated.remove(&frame) {
+                    self.flag(t, format!("double free of frame {frame}"));
+                }
+            }
+            TraceEvent::PteTransition { vpn, from, to } => {
+                if !legal_pte_transition(from, to) {
+                    self.flag(
+                        t,
+                        format!(
+                            "illegal PTE transition {} → {} for vpn {vpn:#x}",
+                            from.label(),
+                            to.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::LruInsert { vpn } => {
+                if !self.lru.insert(vpn) {
+                    self.flag(t, format!("LRU insert of member key {vpn:#x}"));
+                }
+            }
+            TraceEvent::LruRemove { vpn } => {
+                if !self.lru.remove(&vpn) {
+                    self.flag(t, format!("LRU removal of non-member key {vpn:#x}"));
+                }
+            }
+            TraceEvent::ReclaimBegin { .. } => {
+                if self.reclaim_open {
+                    self.flag(t, "nested reclaim episode".to_string());
+                }
+                self.reclaim_open = true;
+                self.reclaim_episodes += 1;
+            }
+            TraceEvent::ReclaimEnd { .. } => {
+                if !self.reclaim_open {
+                    self.flag(t, "reclaim episode ended without beginning".to_string());
+                }
+                self.reclaim_open = false;
+            }
+            TraceEvent::Evict { .. } => {
+                self.evictions += 1;
+            }
+            TraceEvent::GuideInvoke { .. } => {
+                self.guide_invocations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dilos_sim::TraceSink;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn audited_sink() -> (TraceSink, Rc<RefCell<Auditor>>) {
+        let s = TraceSink::recording();
+        let a = Rc::new(RefCell::new(Auditor::new()));
+        s.attach(a.clone());
+        (s, a)
+    }
+
+    #[test]
+    fn clean_stream_stays_clean() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::FrameAlloc { frame: 3 });
+        s.emit(
+            2,
+            TraceEvent::PteTransition {
+                vpn: 9,
+                from: PteClass::None,
+                to: PteClass::Local,
+            },
+        );
+        s.emit(3, TraceEvent::LruInsert { vpn: 3 });
+        s.emit(4, TraceEvent::LruRemove { vpn: 3 });
+        s.emit(5, TraceEvent::FrameFree { frame: 3 });
+        a.borrow_mut().final_checks();
+        assert!(a.borrow().is_clean(), "{:?}", a.borrow().violations());
+        assert_eq!(a.borrow().frames_in_use(), 0);
+        assert_eq!(a.borrow().frame_flow(), (1, 1));
+    }
+
+    #[test]
+    fn double_free_is_flagged() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::FrameAlloc { frame: 7 });
+        s.emit(2, TraceEvent::FrameFree { frame: 7 });
+        s.emit(3, TraceEvent::FrameFree { frame: 7 });
+        let a = a.borrow();
+        assert_eq!(a.violation_count(), 1);
+        assert!(a.violations()[0].contains("double free of frame 7"));
+    }
+
+    #[test]
+    fn illegal_pte_edges_are_flagged() {
+        // Fastswap-style swap-in (no fetching hop) is illegal under DiLOS.
+        assert!(!legal_pte_transition(PteClass::Remote, PteClass::Local));
+        assert!(!legal_pte_transition(PteClass::Fetching, PteClass::Remote));
+        assert!(!legal_pte_transition(PteClass::None, PteClass::Fetching));
+        assert!(legal_pte_transition(PteClass::Action, PteClass::Action));
+        assert!(legal_pte_transition(PteClass::Local, PteClass::None));
+        let (s, a) = audited_sink();
+        s.emit(
+            1,
+            TraceEvent::PteTransition {
+                vpn: 4,
+                from: PteClass::Remote,
+                to: PteClass::Local,
+            },
+        );
+        assert!(a.borrow().violations()[0].contains("illegal PTE transition"));
+    }
+
+    #[test]
+    fn unbalanced_prefetch_lifecycle_is_flagged() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::PrefetchIssue { vpn: 11 });
+        s.emit(2, TraceEvent::PrefetchLand { vpn: 11 });
+        s.emit(3, TraceEvent::PrefetchLand { vpn: 11 });
+        s.emit(4, TraceEvent::PrefetchCancel { vpn: 12 });
+        let a = a.borrow();
+        assert_eq!(a.violation_count(), 2);
+        assert_eq!(a.prefetch_flow(), (1, 2, 1));
+    }
+
+    #[test]
+    fn fault_nesting_is_flagged() {
+        let (s, a) = audited_sink();
+        s.emit(
+            1,
+            TraceEvent::FaultBegin {
+                core: 0,
+                vpn: 1,
+                kind: FaultKind::Major,
+            },
+        );
+        s.emit(
+            2,
+            TraceEvent::FaultBegin {
+                core: 0,
+                vpn: 2,
+                kind: FaultKind::Major,
+            },
+        );
+        assert_eq!(a.borrow().violation_count(), 1);
+    }
+
+    #[test]
+    fn final_checks_catch_unpaired_verbs_and_open_faults() {
+        let (s, a) = audited_sink();
+        s.emit(
+            1,
+            TraceEvent::RdmaIssue {
+                class: ServiceClass::Fault,
+                write: false,
+                node: 0,
+                core: 0,
+                bytes: 4096,
+            },
+        );
+        s.emit(
+            2,
+            TraceEvent::FaultBegin {
+                core: 1,
+                vpn: 5,
+                kind: FaultKind::Minor,
+            },
+        );
+        let mut aud = a.borrow_mut();
+        assert!(aud.is_clean());
+        aud.final_checks();
+        assert_eq!(aud.violation_count(), 2);
+    }
+
+    #[test]
+    fn violation_storage_is_capped() {
+        let (s, a) = audited_sink();
+        for i in 0..(MAX_VIOLATIONS as u32 + 50) {
+            s.emit(i as u64, TraceEvent::FrameFree { frame: i });
+        }
+        let a = a.borrow();
+        assert_eq!(a.violations().len(), MAX_VIOLATIONS);
+        assert_eq!(a.violation_count(), MAX_VIOLATIONS as u64 + 50);
+    }
+}

@@ -6,7 +6,7 @@
 //! and, for frames filled by an in-flight fetch, the virtual time at which
 //! the payload actually arrives.
 
-use dilos_sim::{Ns, PAGE_SIZE};
+use dilos_sim::{Ns, TraceEvent, TraceSink, PAGE_SIZE};
 
 /// Per-frame metadata.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +39,7 @@ pub struct FrameArena {
     data: Vec<u8>,
     meta: Vec<FrameMeta>,
     free: Vec<FreeFrame>,
+    trace: TraceSink,
 }
 
 impl FrameArena {
@@ -67,7 +68,13 @@ impl FrameArena {
                     available_at: 0,
                 })
                 .collect(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Routes frame alloc/free events into `sink`.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// Total frames in the arena.
@@ -83,7 +90,9 @@ impl FrameArena {
     /// Pops a frame whose previous writeback has completed by `now`.
     pub fn pop_free(&mut self, now: Ns) -> Option<u32> {
         let idx = self.free.iter().position(|f| f.available_at <= now)?;
-        Some(self.free.swap_remove(idx).frame)
+        let frame = self.free.swap_remove(idx).frame;
+        self.trace.emit(now, TraceEvent::FrameAlloc { frame });
+        Some(frame)
     }
 
     /// The earliest time any free-list frame becomes available, if the list
@@ -104,6 +113,8 @@ impl FrameArena {
             frame,
             available_at,
         });
+        self.trace
+            .emit(available_at, TraceEvent::FrameFree { frame });
     }
 
     /// Frame metadata.

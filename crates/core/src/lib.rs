@@ -27,6 +27,7 @@
 //! latency it reports is deterministic and calibrated to the paper's
 //! testbed. See the workspace DESIGN.md for the substitution ledger.
 
+pub mod audit;
 pub mod compat;
 pub mod frames;
 pub mod guide;
@@ -36,6 +37,7 @@ pub mod prefetch;
 pub mod pt;
 pub mod stats;
 
+pub use audit::{legal_pte_transition, Auditor};
 pub use compat::{PatchReport, SymbolKind, SymbolPatcher, SymbolTable, MAP_DDC};
 pub use guide::{ActionTable, FetchVector, GuideOps, HeapPagingGuide, PagingGuide, PrefetchGuide};
 pub use node::{Dilos, DilosConfig, SoftCosts, DDC_BASE, LOCAL_BASE};

@@ -24,8 +24,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dilos_sim::{CoreClock, Ns, RdmaEndpoint, Segment, ServiceClass, SimConfig, PAGE_SIZE};
+use dilos_sim::{
+    CoreClock, FaultKind, FaultPhase, Ns, PteClass, RdmaEndpoint, Segment, ServiceClass, SimConfig,
+    TraceEvent, TraceSink, PAGE_SIZE,
+};
 
+use crate::audit::Auditor;
 use crate::compat::MAP_DDC;
 use crate::frames::FrameArena;
 use crate::guide::{ActionTable, GuideOps, PagingGuide, PrefetchGuide};
@@ -123,6 +127,13 @@ pub struct DilosConfig {
     /// Carbink-style erasure coding `(k, m)` across the pool; overrides
     /// `replication` when set (requires `memory_nodes ≥ k + m`).
     pub erasure: Option<(usize, usize)>,
+    /// Record a structured event trace of the run (faults, verbs, frames,
+    /// PTE transitions); read it back via [`Dilos::trace`] /
+    /// [`Dilos::trace_digest`].
+    pub trace: bool,
+    /// Attach the online invariant [`Auditor`] to the trace (implies
+    /// `trace`); collect findings via [`Dilos::audit_report`].
+    pub audit: bool,
 }
 
 impl Default for DilosConfig {
@@ -141,6 +152,8 @@ impl Default for DilosConfig {
             memory_nodes: 1,
             replication: 1,
             erasure: None,
+            trace: false,
+            audit: false,
         }
     }
 }
@@ -195,6 +208,10 @@ pub struct Dilos {
     fault_log: Option<Vec<u64>>,
     /// Optional eviction trace: `(vpn, last_access, eviction_time)`.
     evict_log: Option<Vec<(u64, Ns, Ns)>>,
+    /// Structured event trace (dark unless `cfg.trace`/`cfg.audit`).
+    trace: TraceSink,
+    /// Online invariant checker attached to the trace.
+    audit: Option<Rc<RefCell<Auditor>>>,
 }
 
 impl std::fmt::Debug for Dilos {
@@ -232,9 +249,24 @@ impl Dilos {
         };
         rdma.set_shared_queue(cfg.shared_queue);
         rdma.set_tcp_mode(cfg.tcp_mode);
+        let trace = if cfg.trace || cfg.audit {
+            TraceSink::recording()
+        } else {
+            TraceSink::disabled()
+        };
+        rdma.set_trace(trace.clone());
+        let audit = if cfg.audit {
+            let a = Rc::new(RefCell::new(Auditor::new()));
+            trace.attach(a.clone());
+            Some(a)
+        } else {
+            None
+        };
+        let mut frames = FrameArena::new(cfg.local_pages);
+        frames.set_trace(trace.clone());
         let wm = Watermarks::for_cache(cfg.local_pages);
         Self {
-            frames: FrameArena::new(cfg.local_pages),
+            frames,
             rdma,
             pt: PageTable::new(),
             ring: ResidentRing::new(),
@@ -258,6 +290,8 @@ impl Dilos {
             prefetch_buf: Vec::new(),
             fault_log: None,
             evict_log: None,
+            trace,
+            audit,
         }
     }
 
@@ -313,6 +347,124 @@ impl Dilos {
     /// The RDMA endpoint (bandwidth series, op counters).
     pub fn rdma(&self) -> &RdmaEndpoint {
         &self.rdma
+    }
+
+    /// The node's trace sink (disabled unless booted with
+    /// `DilosConfig::trace` or `DilosConfig::audit`).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Order-sensitive digest over every traced event so far (0 when
+    /// tracing is off). Two runs of the same seed and configuration must
+    /// produce the same digest.
+    pub fn trace_digest(&self) -> u64 {
+        self.trace.digest()
+    }
+
+    /// Runs the auditor's end-of-run checks plus cross-checks of the traced
+    /// totals against the node's own state and counters. Returns every
+    /// violation found — empty on a healthy run, and always empty when
+    /// auditing is off.
+    pub fn audit_report(&self) -> Vec<String> {
+        let Some(aud) = &self.audit else {
+            return Vec::new();
+        };
+        aud.borrow_mut().final_checks();
+        let a = aud.borrow();
+        let mut v: Vec<String> = a.violations().to_vec();
+
+        // Frame conservation: allocs − frees must equal the frames in use.
+        // Signed: a corrupted free list can exceed the arena's total.
+        let in_use = self.frames.total() as i64 - self.frames.free_count() as i64;
+        if a.frames_in_use() as i64 != in_use {
+            v.push(format!(
+                "[cross-check] trace says {} frames in use, the arena says {in_use}",
+                a.frames_in_use()
+            ));
+        }
+
+        // No lost in-flight fetches: the traced outstanding set must equal
+        // the node's in-flight table (pending prefetches at shutdown are
+        // fine — silently dropped ones are not).
+        let actual: std::collections::BTreeSet<u64> =
+            self.inflight.iter().flatten().map(|e| e.vpn).collect();
+        for vpn in a.outstanding_fetches() {
+            if !actual.contains(&vpn) {
+                v.push(format!(
+                    "[cross-check] lost in-flight fetch: vpn {vpn:#x} was issued but \
+                     never landed or cancelled"
+                ));
+            }
+        }
+        let traced: std::collections::HashSet<u64> = a.outstanding_fetches().into_iter().collect();
+        for &vpn in &actual {
+            if !traced.contains(&vpn) {
+                v.push(format!(
+                    "[cross-check] untraced in-flight fetch for vpn {vpn:#x}"
+                ));
+            }
+        }
+
+        // Ad-hoc counters must be derivable from the trace.
+        let (majors, minors, zero_fills) = a.fault_counts();
+        for (name, traced, counted) in [
+            ("major faults", majors, self.stats.major_faults),
+            ("minor faults", minors, self.stats.minor_faults),
+            ("zero fills", zero_fills, self.stats.zero_fills),
+            (
+                "prefetch issues",
+                a.prefetch_flow().0,
+                self.stats.prefetch_issued,
+            ),
+            ("evictions", a.evictions(), self.stats.evictions),
+        ] {
+            if traced != counted {
+                v.push(format!(
+                    "[cross-check] trace counts {traced} {name}, stats say {counted}"
+                ));
+            }
+        }
+
+        // Fault-phase sums must reproduce the recorded latency breakdown.
+        let b = &self.stats.breakdown;
+        for (phase, sum) in [
+            (FaultPhase::Exception, b.exception),
+            (FaultPhase::Check, b.check),
+            (FaultPhase::Alloc, b.alloc_wait),
+            (FaultPhase::Fetch, b.fetch),
+            (FaultPhase::Map, b.map),
+            (FaultPhase::Reclaim, b.reclaim),
+        ] {
+            if a.phase_sum(phase) != sum {
+                v.push(format!(
+                    "[cross-check] {phase:?} phase sum {} != breakdown's {sum}",
+                    a.phase_sum(phase)
+                ));
+            }
+        }
+
+        // LRU membership.
+        if a.lru_members() != self.lru.len() {
+            v.push(format!(
+                "[cross-check] trace says {} LRU members, the chain holds {}",
+                a.lru_members(),
+                self.lru.len()
+            ));
+        }
+
+        // Link-bandwidth conservation, per service class.
+        for class in ServiceClass::ALL {
+            let traced = a.link_bytes(class);
+            let fabric = self.rdma.class_bytes(class);
+            if traced != fabric {
+                v.push(format!(
+                    "[cross-check] {} link bytes {traced:?} != fabric accounting {fabric:?}",
+                    class.label()
+                ));
+            }
+        }
+        v
     }
 
     /// Kills memory node `i` (failure injection). With replication, reads
@@ -377,12 +529,15 @@ impl Dilos {
     /// Frees `len` bytes at `va` (`ddc_free`): unmaps pages, releasing local
     /// frames and any in-flight or action state.
     pub fn ddc_free(&mut self, va: u64, len: usize) {
+        let t = self.max_now();
         let start = va >> 12;
         let end = (va + len as u64 + PAGE_SIZE as u64 - 1) >> 12;
         for vpn in start..end {
             match self.pt.get(vpn) {
                 Pte::Local { frame, .. } => {
                     let slot = self.frames.meta(frame).ring_slot;
+                    self.trace
+                        .emit(t, TraceEvent::LruRemove { vpn: frame as u64 });
                     self.lru.remove(frame as u64);
                     self.unlink_ring(slot);
                     self.frames.push_free(frame, 0);
@@ -392,6 +547,7 @@ impl Dilos {
                         .take()
                         .expect("fetching PTE has an in-flight entry");
                     self.inflight_free.push(inflight);
+                    self.trace.emit(t, TraceEvent::PrefetchCancel { vpn });
                     // The frame may be reused once the fetch has landed.
                     self.frames.push_free(e.frame, e.ready_at);
                 }
@@ -400,7 +556,7 @@ impl Dilos {
                 }
                 Pte::Remote { .. } | Pte::None => {}
             }
-            self.pt.set(vpn, Pte::None);
+            self.set_pte(t, vpn, Pte::None);
         }
     }
 
@@ -606,13 +762,22 @@ impl Dilos {
         if entry.ready_at <= now {
             // Completed in the past; mapping it cost the completion path,
             // not this access.
-            self.map_page(vpn, entry.frame, 0);
+            self.trace.emit(now, TraceEvent::PrefetchLand { vpn });
+            self.map_page(now, vpn, entry.frame, 0);
             self.pt.mark_access(vpn, is_write);
             self.stats.local_hits += 1;
             self.clocks[core].advance(costs.tlb_miss_walk_ns);
             return entry.frame;
         }
         // Minor fault: pay the exception, wait out the fetch, map.
+        self.trace.emit(
+            now,
+            TraceEvent::FaultBegin {
+                core: core as u8,
+                vpn,
+                kind: FaultKind::Minor,
+            },
+        );
         self.stats.minor_faults += 1;
         let mut t = now + self.cfg.sim.hw_exception_ns + costs.pte_check_ns;
         if entry.swap_cached {
@@ -620,22 +785,45 @@ impl Dilos {
         }
         t = t.max(entry.ready_at) + costs.map_ns;
         self.clocks[core].wait_until(t);
-        self.map_page(vpn, entry.frame, 0);
+        self.trace.emit(t, TraceEvent::PrefetchLand { vpn });
+        self.map_page(t, vpn, entry.frame, 0);
         self.pt.mark_access(vpn, is_write);
+        self.trace.emit(
+            t,
+            TraceEvent::FaultEnd {
+                core: core as u8,
+                vpn,
+            },
+        );
         entry.frame
     }
 
     /// First touch of a DDC page: zero-fill, no network.
     fn fault_zero_fill(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
         let now = self.clocks[core].now();
+        self.trace.emit(
+            now,
+            TraceEvent::FaultBegin {
+                core: core as u8,
+                vpn,
+                kind: FaultKind::ZeroFill,
+            },
+        );
         let t = now + self.cfg.sim.hw_exception_ns + self.cfg.costs.pte_check_ns;
         let (frame, t_alloc, reclaim_ns) = self.alloc_frame(core, t);
         self.frames.bytes_mut(frame).fill(0);
         let t_done = t_alloc + self.cfg.costs.zero_fill_ns + self.cfg.costs.map_ns + reclaim_ns;
         self.clocks[core].wait_until(t_done);
         self.stats.zero_fills += 1;
-        self.map_page(vpn, frame, 0);
+        self.map_page(t_done, vpn, frame, 0);
         self.pt.mark_access(vpn, is_write);
+        self.trace.emit(
+            t_done,
+            TraceEvent::FaultEnd {
+                core: core as u8,
+                vpn,
+            },
+        );
         frame
     }
 
@@ -648,6 +836,14 @@ impl Dilos {
         vector: Option<Vec<(u16, u16)>>,
     ) -> u32 {
         let now = self.clocks[core].now();
+        self.trace.emit(
+            now,
+            TraceEvent::FaultBegin {
+                core: core as u8,
+                vpn,
+                kind: FaultKind::Major,
+            },
+        );
         let hw = self.cfg.sim.hw_exception_ns;
         let costs = self.cfg.costs.clone();
         let mut t = now + hw + costs.pte_check_ns;
@@ -656,7 +852,7 @@ impl Dilos {
         }
         // Transition through the `fetching` tag, exactly as §4.2 describes
         // (other cores reading the PTE would wait instead of re-fetching).
-        self.pt.set(vpn, Pte::Fetching { inflight: u32::MAX });
+        self.set_pte(t, vpn, Pte::Fetching { inflight: u32::MAX });
         let (frame, t_alloc, reclaim_ns) = self.alloc_frame(core, t);
         let remote = (vpn - DDC_BASE_VPN) << 12;
 
@@ -705,27 +901,55 @@ impl Dilos {
         let hidden_done = self.fetch_window_work(core, vpn, t_alloc);
 
         let t_ready = done.max(hidden_done) + reclaim_ns;
-        self.clocks[core].wait_until(t_ready + costs.map_ns);
+        let t_end = t_ready + costs.map_ns;
+        self.clocks[core].wait_until(t_end);
         self.stats.major_faults += 1;
         if let Some(log) = &mut self.fault_log {
             log.push(vpn);
         }
-        let b = &mut self.stats.breakdown;
-        b.exception += hw;
-        b.check += costs.pte_check_ns
+        let check = costs.pte_check_ns
             + if self.cfg.swap_cache_mode {
                 costs.swapcache_mgmt_ns
             } else {
                 0
             };
+        let b = &mut self.stats.breakdown;
+        b.exception += hw;
+        b.check += check;
         b.alloc_wait += t_alloc - t;
         b.fetch += t_ready - t_alloc;
         b.map += costs.map_ns;
         b.reclaim += reclaim_ns;
         b.count += 1;
+        if self.trace.is_enabled() {
+            for (phase, dur) in [
+                (FaultPhase::Exception, hw),
+                (FaultPhase::Check, check),
+                (FaultPhase::Alloc, t_alloc - t),
+                (FaultPhase::Fetch, t_ready - t_alloc),
+                (FaultPhase::Map, costs.map_ns),
+                (FaultPhase::Reclaim, reclaim_ns),
+            ] {
+                self.trace.emit(
+                    t_end,
+                    TraceEvent::FaultPhase {
+                        core: core as u8,
+                        phase,
+                        dur,
+                    },
+                );
+            }
+        }
 
-        self.map_page(vpn, frame, 0);
+        self.map_page(t_end, vpn, frame, 0);
         self.pt.mark_access(vpn, is_write);
+        self.trace.emit(
+            t_end,
+            TraceEvent::FaultEnd {
+                core: core as u8,
+                vpn,
+            },
+        );
         frame
     }
 
@@ -757,6 +981,8 @@ impl Dilos {
         // pipelined with the demand fetch).
         if let Some(g) = self.prefetch_guide.clone() {
             let va = vpn << 12;
+            self.trace
+                .emit(sw, TraceEvent::GuideInvoke { vpn, fetch: true });
             let mut ops = NodeGuideOps {
                 node: self,
                 core,
@@ -786,7 +1012,7 @@ impl Dilos {
             // Out of reserve: put an action vector back if we took one.
             if let Some(v) = vector {
                 let idx = self.actions.insert(v);
-                self.pt.set(vpn, Pte::Action { action: idx });
+                self.set_pte(t, vpn, Pte::Action { action: idx });
             }
             return;
         };
@@ -841,7 +1067,8 @@ impl Dilos {
             vpn,
             swap_cached: self.cfg.swap_cache_mode,
         });
-        self.pt.set(vpn, Pte::Fetching { inflight: idx });
+        self.trace.emit(t, TraceEvent::PrefetchIssue { vpn });
+        self.set_pte(t, vpn, Pte::Fetching { inflight: idx });
         self.stats.prefetch_issued += 1;
         if self.cfg.hit_tracker {
             self.tracker.track(vpn);
@@ -922,14 +1149,17 @@ impl Dilos {
     }
 
     /// Maps `vpn` to `frame` as a local page and inserts it in the ring.
-    fn map_page(&mut self, vpn: u64, frame: u32, ready_at: Ns) {
+    fn map_page(&mut self, t: Ns, vpn: u64, frame: u32, ready_at: Ns) {
+        self.trace
+            .emit(t, TraceEvent::LruInsert { vpn: frame as u64 });
         self.lru.insert(frame as u64);
         let slot = self.ring.push(vpn);
         let m = self.frames.meta_mut(frame);
         m.vpn = vpn;
         m.ready_at = ready_at;
         m.ring_slot = slot;
-        self.pt.set(
+        self.set_pte(
+            t,
             vpn,
             Pte::Local {
                 frame,
@@ -937,6 +1167,21 @@ impl Dilos {
                 dirty: false,
             },
         );
+    }
+
+    /// Installs `pte` for `vpn`, tracing the state-class transition.
+    fn set_pte(&mut self, t: Ns, vpn: u64, pte: Pte) {
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                t,
+                TraceEvent::PteTransition {
+                    vpn,
+                    from: pte_class(&self.pt.get(vpn)),
+                    to: pte_class(&pte),
+                },
+            );
+        }
+        self.pt.set(vpn, pte);
     }
 
     /// Removes the ring entry at `slot`, fixing up the moved page's frame.
@@ -963,6 +1208,13 @@ impl Dilos {
         // also makes never-touched prefetches visible to the reclaimer —
         // otherwise they would pin their frames forever.
         self.finalize_inflight(now);
+        let free_before = self.frames.free_count();
+        self.trace.emit(
+            now,
+            TraceEvent::ReclaimBegin {
+                free: free_before as u32,
+            },
+        );
         let target = self.wm.high;
         let mut guard = 2 * self.ring.len() + 8;
         while self.frames.free_count() < target && guard > 0 {
@@ -972,6 +1224,12 @@ impl Dilos {
             };
             let _ = self.evict(vpn, frame, slot, dirty, scan_end, ServiceClass::Cleaner);
         }
+        self.trace.emit(
+            now,
+            TraceEvent::ReclaimEnd {
+                freed: self.frames.free_count().saturating_sub(free_before) as u32,
+            },
+        );
     }
 
     /// Maps every completed in-flight (pre)fetch into the page table.
@@ -985,7 +1243,9 @@ impl Dilos {
             }
             self.inflight[idx] = None;
             self.inflight_free.push(idx as u32);
-            self.map_page(e.vpn, e.frame, 0);
+            self.trace
+                .emit(now, TraceEvent::PrefetchLand { vpn: e.vpn });
+            self.map_page(now, e.vpn, e.frame, 0);
         }
     }
 
@@ -1048,7 +1308,12 @@ impl Dilos {
         if let Some(log) = &mut self.evict_log {
             log.push((vpn, self.frames.meta(frame).last_access, t));
         }
+        self.trace.emit(t, TraceEvent::Evict { vpn, dirty });
         let remote = (vpn - DDC_BASE_VPN) << 12;
+        if self.paging_guide.is_some() {
+            self.trace
+                .emit(t, TraceEvent::GuideInvoke { vpn, fetch: false });
+        }
         let liveness = self
             .paging_guide
             .as_ref()
@@ -1107,9 +1372,11 @@ impl Dilos {
             }
         }
 
+        self.trace
+            .emit(t, TraceEvent::LruRemove { vpn: frame as u64 });
         self.lru.remove(frame as u64);
         self.unlink_ring(slot);
-        self.pt.set(vpn, new_pte);
+        self.set_pte(t, vpn, new_pte);
         self.frames.push_free(frame, available_at);
         self.stats.evictions += 1;
         available_at
@@ -1123,6 +1390,42 @@ impl Dilos {
     /// Raw PTE inspection (tests/diagnostics).
     pub fn pte_of(&self, va: u64) -> Pte {
         self.pt.get(va >> 12)
+    }
+
+    /// Fault injection for auditor tests: returns an allocated frame to the
+    /// free list twice. A healthy run can never double-free, so the auditor
+    /// must flag the second return.
+    #[cfg(test)]
+    fn inject_double_frame_free(&mut self) {
+        let t = self.max_now();
+        let frame = self.frames.pop_free(t).expect("a free frame to corrupt");
+        self.frames.push_free(frame, t);
+        self.frames.push_free(frame, t);
+    }
+
+    /// Fault injection for auditor tests: silently drops one in-flight fetch
+    /// so its traced `PrefetchIssue` never lands or cancels. Returns `false`
+    /// when nothing was in flight.
+    #[cfg(test)]
+    fn inject_lost_fetch(&mut self) -> bool {
+        for (idx, slot) in self.inflight.iter_mut().enumerate() {
+            if slot.take().is_some() {
+                self.inflight_free.push(idx as u32);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The trace-visible class of a PTE (drops per-variant payloads).
+fn pte_class(p: &Pte) -> PteClass {
+    match p {
+        Pte::None => PteClass::None,
+        Pte::Local { .. } => PteClass::Local,
+        Pte::Remote { .. } => PteClass::Remote,
+        Pte::Fetching { .. } => PteClass::Fetching,
+        Pte::Action { .. } => PteClass::Action,
     }
 }
 
@@ -1181,5 +1484,78 @@ impl GuideOps for NodeGuideOps<'_> {
 
     fn now(&self) -> Ns {
         self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::Readahead;
+
+    fn audited_node() -> Dilos {
+        let mut node = Dilos::new(DilosConfig {
+            local_pages: 32,
+            remote_bytes: 1 << 24,
+            audit: true,
+            ..DilosConfig::default()
+        });
+        node.set_prefetcher(Box::new(Readahead::new()));
+        node
+    }
+
+    /// Streams enough pages through a small cache to exercise faults,
+    /// prefetch, eviction, and reclaim — then expects a spotless report.
+    #[test]
+    fn healthy_run_audits_clean() {
+        let mut node = audited_node();
+        let pages = 128usize;
+        let va = node.ddc_alloc(pages * PAGE_SIZE);
+        for i in 0..pages {
+            node.write_u64(0, va + (i * PAGE_SIZE) as u64, i as u64);
+        }
+        for i in 0..pages {
+            assert_eq!(node.read_u64(0, va + (i * PAGE_SIZE) as u64), i as u64);
+        }
+        let report = node.audit_report();
+        assert!(report.is_empty(), "unexpected violations: {report:#?}");
+        assert_ne!(node.trace_digest(), 0, "an audited run records a trace");
+    }
+
+    #[test]
+    fn auditor_catches_double_frame_free() {
+        let mut node = audited_node();
+        let va = node.ddc_alloc(8 * PAGE_SIZE);
+        for i in 0..8u64 {
+            node.write_u64(0, va + i * PAGE_SIZE as u64, i);
+        }
+        node.inject_double_frame_free();
+        let report = node.audit_report();
+        assert!(
+            report.iter().any(|m| m.contains("double free of frame")),
+            "double free not detected: {report:#?}"
+        );
+    }
+
+    #[test]
+    fn auditor_catches_lost_inflight_fetch() {
+        let mut node = audited_node();
+        let va = node.ddc_alloc(64 * PAGE_SIZE);
+        // Populate past the cache size so early pages are evicted to the
+        // memory node; re-reading them then major-faults, and the sequential
+        // pattern makes readahead leave fetches in flight.
+        for i in 0..64u64 {
+            node.write_u64(0, va + i * PAGE_SIZE as u64, i);
+        }
+        let mut i = 0u64;
+        while !node.inject_lost_fetch() {
+            assert!(i < 64, "readahead never left a fetch in flight");
+            node.read_u64(0, va + i * PAGE_SIZE as u64);
+            i += 1;
+        }
+        let report = node.audit_report();
+        assert!(
+            report.iter().any(|m| m.contains("lost in-flight fetch")),
+            "lost fetch not detected: {report:#?}"
+        );
     }
 }

@@ -11,6 +11,7 @@ use crate::config::SimConfig;
 use crate::stats::BandwidthRecorder;
 use crate::time::Ns;
 use crate::timeline::Timeline;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// The originating module of a verb, mapping onto DiLOS's per-module queues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,6 +74,7 @@ pub struct Fabric {
     bw: BandwidthRecorder,
     class_tx: [u64; 5],
     class_rx: [u64; 5],
+    trace: TraceSink,
 }
 
 impl Fabric {
@@ -86,7 +88,13 @@ impl Fabric {
             bw: BandwidthRecorder::new(bw_bucket_ns),
             class_tx: [0; 5],
             class_rx: [0; 5],
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Routes this fabric's wire-occupancy events into `sink`.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     /// The calibration constants in force.
@@ -113,6 +121,15 @@ impl Fabric {
             self.bw.record_tx(end, bytes as u64);
             self.class_tx[class.idx()] += bytes as u64;
         }
+        self.trace.emit(
+            t,
+            TraceEvent::LinkTransfer {
+                class,
+                bytes: bytes as u32,
+                inbound,
+                done: end,
+            },
+        );
         end
     }
 

@@ -38,6 +38,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timeline;
+pub mod trace;
 
 pub use config::SimConfig;
 pub use ec::{EcError, Gf256, ReedSolomon};
@@ -49,3 +50,4 @@ pub use rng::{MixedSizes, SplitMix64, Zipf};
 pub use stats::{BandwidthRecorder, LatencyHistogram};
 pub use time::{CoreClock, Ns, PAGE_SIZE};
 pub use timeline::Timeline;
+pub use trace::{FaultKind, FaultPhase, PteClass, TraceEvent, TraceObserver, TraceSink};

@@ -11,9 +11,11 @@
 //! Backing storage is sparse: pages that were never written read back as
 //! zeros, exactly like freshly-registered (zeroed) host memory.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
-use crate::time::PAGE_SIZE;
+use crate::time::{Ns, PAGE_SIZE};
+use crate::trace::{TraceEvent, TraceSink};
 
 /// A registered memory region's access handle (rkey analogue).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,6 +54,10 @@ pub struct MemoryNode {
     regions: HashMap<u32, Region>,
     next_key: u32,
     huge_pages: bool,
+    trace: TraceSink,
+    /// Virtual time of the in-flight verb, stamped by the endpoint before
+    /// each data-path access (the passive node has no clock of its own).
+    access_time: Cell<Ns>,
 }
 
 impl MemoryNode {
@@ -74,6 +80,17 @@ impl MemoryNode {
     /// Whether huge-page backing is enabled.
     pub fn huge_pages(&self) -> bool {
         self.huge_pages
+    }
+
+    /// Routes this node's served accesses into `sink`.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// Stamps the virtual time of the next served access (set by the RDMA
+    /// endpoint when it posts a verb).
+    pub fn stamp_access(&self, t: Ns) {
+        self.access_time.set(t);
     }
 
     /// Registers `[base, base + len)` and returns its protection key.
@@ -102,6 +119,14 @@ impl MemoryNode {
     /// Reads `buf.len()` bytes starting at `addr` (may span pages).
     pub fn read(&self, key: RegionHandle, addr: u64, buf: &mut [u8]) -> Result<(), MemNodeError> {
         self.check(key, addr, buf.len())?;
+        self.trace.emit(
+            self.access_time.get(),
+            TraceEvent::MemAccess {
+                write: false,
+                offset: addr,
+                len: buf.len() as u32,
+            },
+        );
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
@@ -120,6 +145,14 @@ impl MemoryNode {
     /// Writes `buf` starting at `addr` (may span pages).
     pub fn write(&mut self, key: RegionHandle, addr: u64, buf: &[u8]) -> Result<(), MemNodeError> {
         self.check(key, addr, buf.len())?;
+        self.trace.emit(
+            self.access_time.get(),
+            TraceEvent::MemAccess {
+                write: true,
+                offset: addr,
+                len: buf.len() as u32,
+            },
+        );
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;

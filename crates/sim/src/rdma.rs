@@ -24,6 +24,7 @@ use crate::fabric::{Fabric, ServiceClass};
 use crate::memnode::{MemNodeError, MemoryNode, RegionHandle};
 use crate::time::Ns;
 use crate::timeline::Timeline;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// One entry of a scatter/gather vector: `len` bytes at remote address
 /// `remote`, landing at `offset` within the local page buffer.
@@ -123,6 +124,7 @@ pub struct RdmaEndpoint {
     /// Add the emulated TCP delay to every completion (AIFM comparison).
     tcp_mode: bool,
     failovers: u64,
+    trace: TraceSink,
 }
 
 impl RdmaEndpoint {
@@ -188,7 +190,65 @@ impl RdmaEndpoint {
             shared_queue: false,
             tcp_mode: false,
             failovers: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Routes verb, wire, and memory-node events into `sink`. All nodes'
+    /// fabrics and memory nodes share the same stream.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        for n in &mut self.nodes {
+            n.fabric.set_trace(sink.clone());
+            n.node.set_trace(sink.clone());
+        }
+        self.trace = sink;
+    }
+
+    /// The primary shard index for `remote` (event labelling).
+    fn shard_of(&self, remote: u64) -> u8 {
+        (((remote >> 12) as usize) % self.nodes.len()) as u8
+    }
+
+    /// Emits the issue-side event for a verb and stamps every node's access
+    /// clock so memory-node accesses carry the right virtual time.
+    fn trace_issue(
+        &self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        write: bool,
+        node: u8,
+        bytes: usize,
+    ) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        for n in &self.nodes {
+            n.node.stamp_access(now);
+        }
+        self.trace.emit(
+            now,
+            TraceEvent::RdmaIssue {
+                class,
+                write,
+                node,
+                core: core as u8,
+                bytes: bytes as u32,
+            },
+        );
+    }
+
+    fn trace_complete(&self, core: usize, class: ServiceClass, write: bool, node: u8, done: Ns) {
+        self.trace.emit(
+            done,
+            TraceEvent::RdmaComplete {
+                class,
+                write,
+                node,
+                core: core as u8,
+                done,
+            },
+        );
     }
 
     /// Connects with Carbink-style erasure coding: pages are grouped into
@@ -305,6 +365,14 @@ impl RdmaEndpoint {
         })
     }
 
+    /// Bytes attributed to `class` across every node's link: `(tx, rx)`.
+    /// The auditor cross-checks these against trace-accumulated totals.
+    pub fn class_bytes(&self, class: ServiceClass) -> (u64, u64) {
+        self.nodes.iter().fold((0, 0), |(tx, rx), n| {
+            (tx + n.fabric.class_tx(class), rx + n.fabric.class_rx(class))
+        })
+    }
+
     /// Direct access to a remote node (tests and verification only; real
     /// data-path traffic must go through the verbs).
     pub fn node(&self) -> &MemoryNode {
@@ -379,14 +447,19 @@ impl RdmaEndpoint {
         buf: &mut [u8],
     ) -> Result<Ns, RdmaError> {
         self.ops[class.idx()].reads += 1;
+        let shard = self.shard_of(remote);
+        self.trace_issue(now, core, class, false, shard, buf.len());
         if self.ec.is_some() {
-            return self.ec_read(now, core, class, remote, buf);
+            let done = self.ec_read(now, core, class, remote, buf)?;
+            self.trace_complete(core, class, false, shard, done);
+            return Ok(done);
         }
         let (ni, penalty) = self.pick_read_node(remote)?;
         let done = self.verb_timing(ni, now + penalty, core, class, buf.len(), 1, true);
         self.nodes[ni]
             .node
             .read(self.nodes[ni].region, remote, buf)?;
+        self.trace_complete(core, class, false, ni as u8, done);
         Ok(done)
     }
 
@@ -400,8 +473,12 @@ impl RdmaEndpoint {
         buf: &[u8],
     ) -> Result<Ns, RdmaError> {
         self.ops[class.idx()].writes += 1;
+        let shard = self.shard_of(remote);
+        self.trace_issue(now, core, class, true, shard, buf.len());
         if self.ec.is_some() {
-            return self.ec_write(now, core, class, remote, buf);
+            let done = self.ec_write(now, core, class, remote, buf)?;
+            self.trace_complete(core, class, true, shard, done);
+            return Ok(done);
         }
         // Synchronous replication: every live replica is written; the
         // completion is the slowest (the writes ride distinct links, so
@@ -417,7 +494,9 @@ impl RdmaEndpoint {
             self.nodes[ni].node.write(region, remote, buf)?;
             done = Some(done.map_or(d, |x: Ns| x.max(d)));
         }
-        done.ok_or(RdmaError::AllReplicasDown)
+        let done = done.ok_or(RdmaError::AllReplicasDown)?;
+        self.trace_complete(core, class, true, shard, done);
+        Ok(done)
     }
 
     // ------------------------------------------------------------------
@@ -620,6 +699,8 @@ impl RdmaEndpoint {
     ) -> Result<Ns, RdmaError> {
         let bytes = Self::check_segments(segments, buf.len())?;
         self.ops[class.idx()].reads += 1;
+        let shard = self.shard_of(segments[0].remote);
+        self.trace_issue(now, core, class, false, shard, bytes);
         if self.ec.is_some() {
             // Per-segment degraded-capable reads (slight overcharge vs a
             // true vectored verb; documented in DESIGN.md).
@@ -630,6 +711,7 @@ impl RdmaEndpoint {
                 buf[s.offset..s.offset + s.len].copy_from_slice(&tmp);
                 done = done.max(d);
             }
+            self.trace_complete(core, class, false, shard, done);
             return Ok(done);
         }
         // Vectored verbs address one page, so every segment shares a shard.
@@ -641,6 +723,7 @@ impl RdmaEndpoint {
                 .node
                 .read(region, s.remote, &mut buf[s.offset..s.offset + s.len])?;
         }
+        self.trace_complete(core, class, false, ni as u8, done);
         Ok(done)
     }
 
@@ -656,6 +739,8 @@ impl RdmaEndpoint {
     ) -> Result<Ns, RdmaError> {
         let bytes = Self::check_segments(segments, buf.len())?;
         self.ops[class.idx()].writes += 1;
+        let shard = self.shard_of(segments[0].remote);
+        self.trace_issue(now, core, class, true, shard, bytes);
         if self.ec.is_some() {
             let mut done = now;
             for s in segments {
@@ -663,6 +748,7 @@ impl RdmaEndpoint {
                     self.ec_write(now, core, class, s.remote, &buf[s.offset..s.offset + s.len])?;
                 done = done.max(d);
             }
+            self.trace_complete(core, class, true, shard, done);
             return Ok(done);
         }
         let replicas: Vec<usize> = self.replicas(segments[0].remote).collect();
@@ -680,7 +766,9 @@ impl RdmaEndpoint {
             }
             done = Some(done.map_or(d, |x: Ns| x.max(d)));
         }
-        done.ok_or(RdmaError::AllReplicasDown)
+        let done = done.ok_or(RdmaError::AllReplicasDown)?;
+        self.trace_complete(core, class, true, shard, done);
+        Ok(done)
     }
 }
 

@@ -129,6 +129,87 @@ fn snappy_output_is_system_independent_and_correct() {
     assert!(sizes.windows(2).all(|w| w[0] == w[1]), "{sizes:?}");
 }
 
+/// SplitMix64, for the seeded differential workload below.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A seeded random mix of reads and writes of varying lengths, replayed on
+/// every system at every paper ratio. Each run is checked three ways: reads
+/// must match a flat-memory model byte for byte, the fold of all reads must
+/// agree across systems, and the DiLOS runs carry the invariant auditor,
+/// which must stay silent.
+#[test]
+fn randomized_mixed_rw_is_system_independent() {
+    const WS_PAGES: usize = 96;
+    const WS: usize = WS_PAGES * 4096;
+    const SEED: u64 = 0xC0FFEE;
+
+    let mut reference: Option<u64> = None;
+    for kind in SYSTEMS {
+        for ratio in [13u32, 25, 50, 100] {
+            let audited = matches!(kind, SystemKind::DilosReadahead | SystemKind::DilosTrend);
+            let mut spec = SystemSpec::for_working_set(kind, WS as u64, ratio).with_trace();
+            if audited {
+                spec = spec.with_audit();
+            }
+            let mut mem = spec.boot();
+            let base = mem.alloc(WS);
+            let mut model = vec![0u8; WS];
+            let mut rng = Rng(SEED);
+            let mut fold = 0u64;
+            for _ in 0..400 {
+                let at = (rng.next() as usize) % WS;
+                let len = 1 + (rng.next() as usize) % 6000.min(WS - at);
+                if rng.next().is_multiple_of(2) {
+                    let stamp = rng.next() as u8;
+                    let data: Vec<u8> = (0..len).map(|i| stamp.wrapping_add(i as u8)).collect();
+                    mem.write(0, base + at as u64, &data);
+                    model[at..at + len].copy_from_slice(&data);
+                } else {
+                    let mut buf = vec![0u8; len];
+                    mem.read(0, base + at as u64, &mut buf);
+                    assert_eq!(
+                        &buf[..],
+                        &model[at..at + len],
+                        "{} @ {ratio}%: read at {at} len {len}",
+                        kind.label()
+                    );
+                    for b in buf {
+                        fold = fold.wrapping_mul(131).wrapping_add(b as u64);
+                    }
+                }
+            }
+            match reference {
+                None => reference = Some(fold),
+                Some(r) => assert_eq!(r, fold, "{} @ {ratio}%", kind.label()),
+            }
+            assert_ne!(
+                mem.trace_digest(),
+                0,
+                "{} @ {ratio}%: traced run must record",
+                kind.label()
+            );
+            if audited {
+                let report = mem.audit_report();
+                assert!(
+                    report.is_empty(),
+                    "{} @ {ratio}%: audit violations: {report:#?}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn far_array_bulk_ops_survive_pressure_everywhere() {
     for kind in SYSTEMS {
