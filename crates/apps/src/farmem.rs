@@ -53,13 +53,19 @@ pub trait FarMemory {
     /// Order-sensitive digest of the structured event trace; 0 when the
     /// system was booted without [`SystemSpec::trace`]. Equal seeds and
     /// configurations must produce equal digests.
-    fn trace_digest(&self) -> u64 {
+    ///
+    /// Takes `&mut self` because digesting quiesces the system first:
+    /// pending calendar events (in-flight fetches, open reclaim episodes,
+    /// deferred writebacks) are delivered at their scheduled virtual times
+    /// so the digest covers a settled trace. Idempotent.
+    fn trace_digest(&mut self) -> u64 {
         0
     }
 
     /// Invariant-auditor findings (empty on a healthy run, and always empty
-    /// when the system does not support auditing or it is off).
-    fn audit_report(&self) -> Vec<String> {
+    /// when the system does not support auditing or it is off). Quiesces
+    /// pending background work first, like [`FarMemory::trace_digest`].
+    fn audit_report(&mut self) -> Vec<String> {
         Vec::new()
     }
 
@@ -151,10 +157,10 @@ impl FarMemory for Dilos {
     fn as_dilos(&self) -> Option<&Dilos> {
         Some(self)
     }
-    fn trace_digest(&self) -> u64 {
+    fn trace_digest(&mut self) -> u64 {
         Dilos::trace_digest(self)
     }
-    fn audit_report(&self) -> Vec<String> {
+    fn audit_report(&mut self) -> Vec<String> {
         Dilos::audit_report(self)
     }
 }
@@ -195,7 +201,7 @@ impl FarMemory for Fastswap {
         let bw = self.rdma().fabric().bandwidth();
         (bw.total_tx(), bw.total_rx())
     }
-    fn trace_digest(&self) -> u64 {
+    fn trace_digest(&mut self) -> u64 {
         Fastswap::trace_digest(self)
     }
 }
@@ -236,7 +242,7 @@ impl FarMemory for Aifm {
         let bw = self.rdma().fabric().bandwidth();
         (bw.total_tx(), bw.total_rx())
     }
-    fn trace_digest(&self) -> u64 {
+    fn trace_digest(&mut self) -> u64 {
         Aifm::trace_digest(self)
     }
 }

@@ -21,8 +21,8 @@
 use std::collections::HashMap;
 
 use dilos_sim::{
-    CoreClock, FaultKind, Ns, RdmaEndpoint, ServiceClass, SimConfig, TraceEvent, TraceSink,
-    PAGE_SIZE,
+    Calendar, CoreClock, EventId, FaultKind, Ns, RdmaEndpoint, SchedEvent, ServiceClass, SimConfig,
+    TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 /// AIFM runtime costs, in virtual nanoseconds.
@@ -134,6 +134,12 @@ pub struct Aifm {
     stream_window: usize,
     stats: AifmStats,
     brk: u64,
+    /// Event calendar: the background streamer's landings are delivered at
+    /// their true completion times, and traced verb completions ride it too.
+    cal: Calendar,
+    /// Pending `PrefetchLand` event per streamed-but-unlanded chunk, so a
+    /// consuming dereference (or a free) can cancel the landing.
+    pending_land: HashMap<u64, EventId>,
     /// Structured event trace (dark unless `cfg.trace`).
     trace: TraceSink,
 }
@@ -164,9 +170,13 @@ impl Aifm {
             TraceSink::disabled()
         };
         rdma.set_trace(trace.clone());
+        let cal = Calendar::new();
+        rdma.set_calendar(cal.clone());
         Self {
             rdma,
             trace,
+            cal,
+            pending_land: HashMap::new(),
             chunks: HashMap::new(),
             allocs: Vec::new(),
             local_count: 0,
@@ -199,8 +209,43 @@ impl Aifm {
     /// Order-sensitive digest over every traced event (0 when tracing is
     /// off). Identical seeds and configurations must produce identical
     /// digests.
-    pub fn trace_digest(&self) -> u64 {
+    ///
+    /// Quiesces first: in-flight streamed chunks land and deferred
+    /// completion records are delivered, so the digest covers a settled
+    /// trace. Idempotent.
+    pub fn trace_digest(&mut self) -> u64 {
+        while let Some((t, ev)) = self.cal.pop_next() {
+            self.dispatch(t, ev);
+        }
         self.trace.digest()
+    }
+
+    /// Delivers every calendar event due at or before `now`.
+    fn drain_events(&mut self, now: Ns) {
+        while let Some((t, ev)) = self.cal.pop_due(now) {
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Delivers one calendar event at its scheduled time.
+    fn dispatch(&mut self, t: Ns, ev: SchedEvent) {
+        match ev {
+            SchedEvent::PrefetchLand { vpn, .. } => {
+                self.pending_land.remove(&vpn);
+                if let Some(ChunkState::Local { prefetched, .. }) = self.chunks.get_mut(&vpn) {
+                    if std::mem::take(prefetched) {
+                        self.trace.emit(t, TraceEvent::PrefetchLand { vpn });
+                    }
+                }
+            }
+            SchedEvent::RdmaCompletion {
+                class,
+                write,
+                node,
+                core,
+            } => self.rdma.deliver_completion(t, class, write, node, core),
+            _ => {}
+        }
     }
 
     /// Current virtual time on `core`.
@@ -248,6 +293,9 @@ impl Aifm {
         for c in start..end {
             if let Some(ChunkState::Local { prefetched, .. }) = self.chunks.remove(&c) {
                 if prefetched {
+                    if let Some(id) = self.pending_land.remove(&c) {
+                        self.cal.cancel(id);
+                    }
                     self.trace.emit(t, TraceEvent::PrefetchCancel { vpn: c });
                 }
                 self.local_count -= 1;
@@ -317,6 +365,9 @@ impl Aifm {
     fn deref(&mut self, core: usize, chunk: u64, _is_write: bool) {
         self.stats.derefs += 1;
         self.clocks[core].advance(self.cfg.costs.deref_check_ns);
+        // Deliver the background streamer's completed landings first: a
+        // chunk that finished streaming in the past is simply local by now.
+        self.drain_events(self.clocks[core].now());
         match self.chunks.get_mut(&chunk) {
             Some(ChunkState::Local {
                 accessed,
@@ -335,7 +386,12 @@ impl Aifm {
                     self.clocks[core].wait_until(ready);
                 }
                 if landed {
-                    // First dereference consumes the streamed chunk.
+                    // Dereferenced before the landing delivered: this access
+                    // consumes the stream; the scheduled event must not fire
+                    // later against a recycled chunk.
+                    if let Some(id) = self.pending_land.remove(&chunk) {
+                        self.cal.cancel(id);
+                    }
                     self.trace
                         .emit(ready.max(now), TraceEvent::PrefetchLand { vpn: chunk });
                 }
@@ -452,6 +508,17 @@ impl Aifm {
                 prefetched: true,
             },
         );
+        // The landing is a calendar event at the fetch's completion time —
+        // the streamer's thread marks the chunk ready then, whether or not
+        // the mutator ever looks at it.
+        let id = self.cal.schedule(
+            done,
+            SchedEvent::PrefetchLand {
+                vpn: chunk,
+                token: 0,
+            },
+        );
+        self.pending_land.insert(chunk, id);
         self.local_count += 1;
         self.lru.push(chunk);
         self.stats.prefetched += 1;
@@ -507,7 +574,10 @@ impl Aifm {
                 unreachable!("checked above");
             };
             if prefetched {
-                // Evacuated before ever being dereferenced.
+                // Evacuated before the landing delivered or any deref saw it.
+                if let Some(id) = self.pending_land.remove(&victim) {
+                    self.cal.cancel(id);
+                }
                 self.trace
                     .emit(now, TraceEvent::PrefetchCancel { vpn: victim });
             }

@@ -17,8 +17,8 @@
 use std::collections::HashMap;
 
 use dilos_sim::{
-    CoreClock, FaultKind, LruChain, Ns, RdmaEndpoint, ServiceClass, SimConfig, Timeline,
-    TraceEvent, TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, FaultKind, LruChain, Ns, RdmaEndpoint, SchedEvent, ServiceClass,
+    SimConfig, Timeline, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 /// Fastswap software costs, in virtual nanoseconds.
@@ -200,6 +200,10 @@ pub struct Fastswap {
     clocks: Vec<CoreClock>,
     /// The dedicated reclaim-offload kernel thread.
     offload: Timeline,
+    /// Event calendar: offloaded reclaim batches run when the offload
+    /// thread's CPU is actually free, and traced verb completions are
+    /// delivered at their completion times.
+    cal: Calendar,
     reclaim_round: u32,
     stats: FastswapStats,
     brk: u64,
@@ -234,9 +238,12 @@ impl Fastswap {
             TraceSink::disabled()
         };
         rdma.set_trace(trace.clone());
+        let cal = Calendar::new();
+        rdma.set_calendar(cal.clone());
         Self {
             rdma,
             trace,
+            cal,
             state: HashMap::new(),
             frames: (0..cfg.local_pages)
                 .map(|_| Box::new([0u8; PAGE_SIZE]))
@@ -271,8 +278,41 @@ impl Fastswap {
     /// Order-sensitive digest over every traced event (0 when tracing is
     /// off). Identical seeds and configurations must produce identical
     /// digests.
-    pub fn trace_digest(&self) -> u64 {
+    ///
+    /// Quiesces first: scheduled offload batches and deferred completion
+    /// records are delivered so the digest covers a settled trace.
+    /// Idempotent.
+    pub fn trace_digest(&mut self) -> u64 {
+        while let Some((t, ev)) = self.cal.pop_next() {
+            self.dispatch(t, ev);
+        }
         self.trace.digest()
+    }
+
+    /// Delivers every calendar event due at or before `now`.
+    fn drain_events(&mut self, now: Ns) {
+        while let Some((t, ev)) = self.cal.pop_due(now) {
+            self.dispatch(t, ev);
+        }
+    }
+
+    /// Delivers one calendar event at its scheduled time.
+    fn dispatch(&mut self, t: Ns, ev: SchedEvent) {
+        match ev {
+            SchedEvent::ReclaimTick => {
+                // One offloaded reclaim batch, running at the offload
+                // thread's true time.
+                self.reclaim_batch(0, t, true);
+                self.stats.offloaded_reclaims += 1;
+            }
+            SchedEvent::RdmaCompletion {
+                class,
+                write,
+                node,
+                core,
+            } => self.rdma.deliver_completion(t, class, write, node, core),
+            _ => {}
+        }
     }
 
     /// Current virtual time on `core`.
@@ -659,6 +699,7 @@ impl Fastswap {
         let mut direct_ns = 0;
         let mut spins = 0;
         loop {
+            self.drain_events(now);
             if let Some(f) = self.free.pop() {
                 self.trace.emit(now, TraceEvent::FrameAlloc { frame: f });
                 return (f, now, direct_ns);
@@ -670,10 +711,16 @@ impl Fastswap {
             self.reclaim_round += 1;
             let offloaded = (self.reclaim_round * self.cfg.costs.offload_percent / 100) as u64
                 != ((self.reclaim_round - 1) * self.cfg.costs.offload_percent / 100) as u64;
-            let spent = self.reclaim_batch(core, now, offloaded);
             if offloaded {
-                self.stats.offloaded_reclaims += 1;
+                // The dedicated thread runs the batch when its CPU is next
+                // free — a calendar event, not an instantaneous favour. If
+                // the thread is idle that is right now; the drain below
+                // delivers it before the handler re-checks the free list.
+                self.cal
+                    .schedule(self.offload.next_free(now), SchedEvent::ReclaimTick);
+                self.drain_events(now);
             } else {
+                let spent = self.reclaim_batch(core, now, false);
                 self.stats.direct_reclaims += 1;
                 direct_ns += spent;
                 now += spent;
@@ -688,8 +735,15 @@ impl Fastswap {
                 return (f, now, direct_ns);
             }
             if self.free.is_empty() {
-                if let Some(&(_, a)) = self.pending_free.iter().min_by_key(|&&(_, a)| a) {
-                    now = now.max(a);
+                // Wait for whichever comes first: a pending writeback's
+                // completion or the next calendar event (a scheduled
+                // offload batch, typically).
+                let mut next = self.pending_free.iter().map(|&(_, a)| a).min();
+                if let Some(due) = self.cal.next_due() {
+                    next = Some(next.map_or(due, |n| n.min(due)));
+                }
+                if let Some(n) = next {
+                    now = now.max(n);
                 }
             }
             spins += 1;

@@ -3,12 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--full] [--only <id>] [--out <dir>]
+//! repro [--full] [--only <id>...] [--out <dir>]
 //! ```
 //!
-//! Ids: fig01 fig02 fig06 tab01 tab02 fig07a fig07b fig07cd fig08 fig09
-//! fig10 tab04 fig12 ablation. Default writes reports to `results/` and
-//! prints them; `--full` runs larger (slower) configurations.
+//! Ids: fig01 fig02 fig06 tab01 tab02 tab03 fig07a fig07b fig07cd fig08
+//! fig09 fig10 tab04 fig12 ablation (`tab03` is an alias for `tab01` —
+//! both tables come from the same fault-count run). `--only` accepts any
+//! number of ids. Default writes reports to `results/` and prints them;
+//! `--full` runs larger (slower) configurations. Alongside the per-id
+//! markdown, a machine-readable `bench.json` maps each experiment id that
+//! ran to its measured rows, notes, and trace digests.
 
 use std::io::Write as _;
 
@@ -26,11 +30,27 @@ use dilos_bench::Report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let only = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    // `--only` takes every following token up to the next flag. `tab03` is
+    // an alias for `tab01` (one run produces both tables).
+    let only: Option<Vec<String>> = args.iter().position(|a| a == "--only").map(|i| {
+        args[i + 1..]
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .map(|a| {
+                if a == "tab03" {
+                    "tab01".into()
+                } else {
+                    a.clone()
+                }
+            })
+            .collect()
+    });
+    if let Some(ids) = &only {
+        if ids.is_empty() {
+            eprintln!("[repro] --only requires at least one experiment id");
+            std::process::exit(2);
+        }
+    }
     let out_dir = args
         .iter()
         .position(|a| a == "--out")
@@ -103,10 +123,22 @@ fn main() {
         ),
     ];
 
+    let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+    if let Some(ids) = &only {
+        if let Some(bad) = ids.iter().find(|o| !known.contains(&o.as_str())) {
+            eprintln!(
+                "[repro] unknown experiment id {bad:?}; known: {}",
+                known.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+
     let mut combined = String::new();
+    let mut json_entries: Vec<String> = Vec::new();
     for (id, run) in experiments {
-        if let Some(o) = &only {
-            if o != id {
+        if let Some(ids) = &only {
+            if !ids.iter().any(|o| o == id) {
                 continue;
             }
         }
@@ -120,8 +152,11 @@ fn main() {
         combined.push('\n');
         let path = format!("{out_dir}/{id}.md");
         std::fs::write(&path, &rendered).expect("write report");
+        json_entries.push(format!("  \"{id}\": {}", report.to_json()));
     }
     let mut f = std::fs::File::create(format!("{out_dir}/all.md")).expect("create all.md");
     f.write_all(combined.as_bytes()).expect("write all.md");
-    eprintln!("[repro] reports written to {out_dir}/");
+    let json = format!("{{\n{}\n}}\n", json_entries.join(",\n"));
+    std::fs::write(format!("{out_dir}/bench.json"), json).expect("write bench.json");
+    eprintln!("[repro] reports written to {out_dir}/ (machine-readable: {out_dir}/bench.json)");
 }

@@ -26,12 +26,13 @@ impl Default for MicroScale {
     }
 }
 
-fn fastswap_at(pages: usize, ratio: u32, offload_percent: u32) -> Fastswap {
+fn fastswap_at(pages: usize, ratio: u32, offload_percent: u32, traced: bool) -> Fastswap {
     let ws = (pages * PAGE_SIZE) as u64;
     let local_pages = ((pages as u64 * ratio as u64) / 100).max(32) as usize;
     let mut cfg = FastswapConfig {
         local_pages,
         remote_bytes: (ws * 2).next_power_of_two().max(1 << 24),
+        trace: traced,
         ..FastswapConfig::default()
     };
     cfg.costs.offload_percent = offload_percent;
@@ -55,7 +56,7 @@ pub fn fig01_fastswap_breakdown(scale: MicroScale) -> Report {
         ],
     );
     for (label, offload) in [("average", 50u32), ("no reclamation", 100)] {
-        let mut n = fastswap_at(scale.pages, scale.ratio, offload);
+        let mut n = fastswap_at(scale.pages, scale.ratio, offload, false);
         let wl = SeqWorkload { pages: scale.pages };
         let base = wl.populate(&mut n);
         wl.read_pass(&mut n, base);
@@ -107,7 +108,7 @@ pub fn tab01_tab03_fault_counts(scale: MicroScale) -> Report {
     );
     // Fastswap (Table 1 and the first row of Table 3).
     {
-        let mut n = fastswap_at(scale.pages, scale.ratio, 50);
+        let mut n = fastswap_at(scale.pages, scale.ratio, 50, true);
         let wl = SeqWorkload { pages: scale.pages };
         let base = wl.populate(&mut n);
         wl.read_pass(&mut n, base);
@@ -119,6 +120,7 @@ pub fn tab01_tab03_fault_counts(scale: MicroScale) -> Report {
             (s.major_faults + s.minor_faults).to_string(),
             scale.pages.to_string(),
         ]);
+        report.digest("Fastswap", n.trace_digest());
     }
     for kind in [
         SystemKind::DilosNoPrefetch,
@@ -143,10 +145,11 @@ pub fn tab01_tab03_fault_counts(scale: MicroScale) -> Report {
             scale.pages.to_string(),
         ]);
         let violations = mem.audit_report();
+        let digest = mem.trace_digest();
+        report.digest(kind.label(), digest);
         report.note(format!(
-            "{}: trace digest {:#018x}, audit {}",
+            "{}: trace digest {digest:#018x}, audit {}",
             kind.label(),
-            mem.trace_digest(),
             if violations.is_empty() {
                 "clean".to_string()
             } else {
@@ -168,13 +171,15 @@ pub fn tab02_seq_throughput(scale: MicroScale) -> Report {
     // Fastswap row.
     {
         let wl = SeqWorkload { pages: scale.pages };
-        let mut n = fastswap_at(scale.pages, scale.ratio, 50);
+        let mut n = fastswap_at(scale.pages, scale.ratio, 50, true);
         let base = wl.populate(&mut n);
         let r = wl.read_pass(&mut n, base);
-        let mut n2 = fastswap_at(scale.pages, scale.ratio, 50);
+        let mut n2 = fastswap_at(scale.pages, scale.ratio, 50, true);
         let base2 = wl.populate(&mut n2);
         let w = wl.write_pass(&mut n2, base2);
         report.row(vec!["Fastswap".into(), f2(r.gbps()), f2(w.gbps())]);
+        report.digest("Fastswap (read)", n.trace_digest());
+        report.digest("Fastswap (write)", n2.trace_digest());
     }
     for kind in [
         SystemKind::DilosNoPrefetch,
@@ -183,13 +188,19 @@ pub fn tab02_seq_throughput(scale: MicroScale) -> Report {
     ] {
         let ws = (scale.pages * PAGE_SIZE) as u64;
         let wl = SeqWorkload { pages: scale.pages };
-        let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio).boot();
+        let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio)
+            .with_trace()
+            .boot();
         let base = wl.populate(mem.as_mut());
         let r = wl.read_pass(mem.as_mut(), base);
-        let mut mem2 = SystemSpec::for_working_set(kind, ws, scale.ratio).boot();
+        let mut mem2 = SystemSpec::for_working_set(kind, ws, scale.ratio)
+            .with_trace()
+            .boot();
         let base2 = wl.populate(mem2.as_mut());
         let w = wl.write_pass(mem2.as_mut(), base2);
         report.row(vec![kind.label().into(), f2(r.gbps()), f2(w.gbps())]);
+        report.digest(format!("{} (read)", kind.label()), mem.trace_digest());
+        report.digest(format!("{} (write)", kind.label()), mem2.trace_digest());
     }
     report.note(
         "Paper: Fastswap 0.98/0.49; DiLOS none 1.24/1.14, readahead 3.74/3.49, trend 3.73/3.49.",
@@ -213,7 +224,7 @@ pub fn fig06_latency_breakdown(scale: MicroScale) -> Report {
         ],
     );
     {
-        let mut n = fastswap_at(scale.pages, scale.ratio, 50);
+        let mut n = fastswap_at(scale.pages, scale.ratio, 50, false);
         let wl = SeqWorkload { pages: scale.pages };
         let base = wl.populate(&mut n);
         wl.read_pass(&mut n, base);

@@ -17,6 +17,11 @@ pub struct Report {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes (paper-vs-measured commentary).
     pub notes: Vec<String>,
+    /// Trace digests pinning the exact event stream behind the numbers,
+    /// labelled per system/configuration. Rendered into `bench.json` so a
+    /// regression shows up as a digest change even when the table rounds it
+    /// away.
+    pub digests: Vec<(String, u64)>,
 }
 
 impl Report {
@@ -27,6 +32,7 @@ impl Report {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            digests: Vec::new(),
         }
     }
 
@@ -39,6 +45,53 @@ impl Report {
     /// Appends a note line.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Records a labelled trace digest.
+    pub fn digest(&mut self, label: impl Into<String>, digest: u64) {
+        self.digests.push((label.into(), digest));
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; the workspace
+    /// deliberately has no serialization dependency). Digests are emitted
+    /// as hex strings — JSON numbers lose precision past 2^53.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let arr = |items: &[String]| {
+            let cells: Vec<String> = items.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+            format!("[{}]", cells.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        let digests: Vec<String> = self
+            .digests
+            .iter()
+            .map(|(label, d)| format!("\"{}\": \"{d:#018x}\"", esc(label)))
+            .collect();
+        format!(
+            "{{\n    \"title\": \"{}\",\n    \"headers\": {},\n    \"rows\": [{}],\n    \
+             \"notes\": {},\n    \"digests\": {{{}}}\n  }}",
+            esc(&self.title),
+            arr(&self.headers),
+            rows.join(", "),
+            arr(&self.notes),
+            digests.join(", ")
+        )
     }
 
     /// Renders the report as an aligned text table.
@@ -103,6 +156,19 @@ mod tests {
         assert!(s.contains("## Test"));
         assert!(s.contains("| long-name | 22    |"));
         assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    fn renders_json() {
+        let mut r = Report::new("Test \"q\"", &["name", "value"]);
+        r.row(vec!["a".into(), "1".into()]);
+        r.note("line1\nline2");
+        r.digest("sys", 0x1234_5678_9abc_def0);
+        let j = r.to_json();
+        assert!(j.contains("\"title\": \"Test \\\"q\\\"\""));
+        assert!(j.contains("[\"a\", \"1\"]"));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"sys\": \"0x123456789abcdef0\""));
     }
 
     #[test]

@@ -25,8 +25,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dilos_sim::{
-    CoreClock, FaultKind, FaultPhase, Ns, PteClass, RdmaEndpoint, Segment, ServiceClass, SimConfig,
-    TraceEvent, TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, EventId, FaultKind, FaultPhase, Ns, PteClass, RdmaEndpoint, SchedEvent,
+    Segment, ServiceClass, SimConfig, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 use crate::audit::Auditor;
@@ -165,6 +165,10 @@ struct InflightEntry {
     vpn: u64,
     /// Set in the swap-cache ablation: first access pays a minor fault.
     swap_cached: bool,
+    /// The scheduled `PrefetchLand` calendar event that will map this fetch
+    /// at its true completion time (cancelled if a fault consumes the entry
+    /// first).
+    event: EventId,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -197,6 +201,23 @@ pub struct Dilos {
     tlb: Vec<[TlbEntry; TLB_WAYS]>,
     /// Background reclaimer/cleaner CPU timeline.
     bg: dilos_sim::Timeline,
+    /// The discrete-event calendar shared with the RDMA endpoint: prefetch
+    /// landings, reclaim ticks, cleaner writebacks, verb completions, and
+    /// node repairs are delivered from here at their true virtual times.
+    cal: Calendar,
+    /// A reclaim episode is open (`ReclaimBegin` emitted, no `End` yet).
+    /// Invariant: an open episode always has a tick pending, so draining
+    /// the calendar always closes it.
+    episode_open: bool,
+    /// A `ReclaimTick` is scheduled and not yet delivered.
+    tick_pending: bool,
+    /// Victims evicted in the open episode (for `ReclaimEnd { freed }`).
+    episode_freed: u32,
+    /// Dirty background evictions whose cleaner writeback is still on the
+    /// wire; their frames rejoin the free list when the `CleanerWriteback`
+    /// event delivers. Counted toward the reclaim target so an episode does
+    /// not over-evict while writebacks are in flight.
+    pending_clean: usize,
     /// Exact LRU over resident frames (the §4.4 "LRU list").
     lru: dilos_sim::LruChain,
     stats: DilosStats,
@@ -265,6 +286,11 @@ impl Dilos {
         let mut frames = FrameArena::new(cfg.local_pages);
         frames.set_trace(trace.clone());
         let wm = Watermarks::for_cache(cfg.local_pages);
+        // One calendar for the whole node: the endpoint posts its traced
+        // completions onto it, and the node delivers them (plus landings,
+        // reclaim ticks, and writebacks) whenever virtual time passes them.
+        let cal = Calendar::new();
+        rdma.set_calendar(cal.clone());
         Self {
             frames,
             rdma,
@@ -281,6 +307,11 @@ impl Dilos {
             clocks: vec![CoreClock::new(); cfg.cores],
             tlb: vec![[TlbEntry::default(); TLB_WAYS]; cfg.cores],
             bg: dilos_sim::Timeline::new(),
+            cal,
+            episode_open: false,
+            tick_pending: false,
+            episode_freed: 0,
+            pending_clean: 0,
             lru: dilos_sim::LruChain::new(),
             stats: DilosStats::default(),
             ddc_brk: DDC_BASE,
@@ -358,15 +389,35 @@ impl Dilos {
     /// Order-sensitive digest over every traced event so far (0 when
     /// tracing is off). Two runs of the same seed and configuration must
     /// produce the same digest.
-    pub fn trace_digest(&self) -> u64 {
+    ///
+    /// Quiesces first: pending calendar work (in-flight landings, open
+    /// reclaim episodes, deferred writebacks) is delivered so the digest
+    /// covers a settled system. Idempotent — a second call delivers nothing
+    /// new and returns the same value.
+    pub fn trace_digest(&mut self) -> u64 {
+        self.quiesce();
         self.trace.digest()
+    }
+
+    /// Delivers every still-pending calendar event at its scheduled time.
+    ///
+    /// Deliveries may schedule follow-ups (a reclaim tick chains until the
+    /// watermark target is met), so this loops until the calendar is empty.
+    pub fn quiesce(&mut self) {
+        while let Some((t, ev)) = self.cal.pop_next() {
+            self.dispatch(t, ev);
+        }
     }
 
     /// Runs the auditor's end-of-run checks plus cross-checks of the traced
     /// totals against the node's own state and counters. Returns every
     /// violation found — empty on a healthy run, and always empty when
     /// auditing is off.
-    pub fn audit_report(&self) -> Vec<String> {
+    ///
+    /// Quiesces first (see [`Dilos::trace_digest`]): the auditor's final
+    /// checks require all scheduled background work to have been delivered.
+    pub fn audit_report(&mut self) -> Vec<String> {
+        self.quiesce();
         let Some(aud) = &self.audit else {
             return Vec::new();
         };
@@ -474,6 +525,14 @@ impl Dilos {
         self.rdma.fail_node(i);
     }
 
+    /// Schedules memory node `i` to come back online at virtual time `at`:
+    /// a `NodeRepair` calendar event that, when delivered, resynchronizes
+    /// the node's pages from the surviving redundancy (replica copy or
+    /// erasure-coded reconstruction).
+    pub fn schedule_memory_node_repair(&mut self, at: Ns, node: usize) {
+        self.cal.schedule(at, SchedEvent::NodeRepair { node });
+    }
+
     /// The node configuration.
     pub fn config(&self) -> &DilosConfig {
         &self.cfg
@@ -530,6 +589,7 @@ impl Dilos {
     /// frames and any in-flight or action state.
     pub fn ddc_free(&mut self, va: u64, len: usize) {
         let t = self.max_now();
+        self.drain_events(t);
         let start = va >> 12;
         let end = (va + len as u64 + PAGE_SIZE as u64 - 1) >> 12;
         for vpn in start..end {
@@ -547,6 +607,7 @@ impl Dilos {
                         .take()
                         .expect("fetching PTE has an in-flight entry");
                     self.inflight_free.push(inflight);
+                    self.cal.cancel(e.event);
                     self.trace.emit(t, TraceEvent::PrefetchCancel { vpn });
                     // The frame may be reused once the fetch has landed.
                     self.frames.push_free(e.frame, e.ready_at);
@@ -687,6 +748,11 @@ impl Dilos {
     /// Resolves `vpn` to a resident frame, faulting as needed, and marks the
     /// access (A/D bits) — the software MMU.
     fn touch(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
+        // Deliver every calendar event whose time has passed before looking
+        // anything up: prefetch landings map their pages, reclaim ticks
+        // evict, writebacks return frames — all at their true virtual times,
+        // so this access observes the state the background work produced.
+        self.drain_events(self.clocks[core].now());
         // TLB fast path. The way index is hashed so that arrays laid out at
         // power-of-two strides (columnar tables) don't alias pathologically.
         let way = ((vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 52) as usize % TLB_WAYS;
@@ -757,6 +823,9 @@ impl Dilos {
             .take()
             .expect("fetching PTE has an in-flight entry");
         self.inflight_free.push(idx);
+        // This access consumes the fetch; the scheduled landing must not
+        // fire later against a reused slot.
+        self.cal.cancel(entry.event);
         let now = self.clocks[core].now();
         let costs = self.cfg.costs.clone();
         if entry.ready_at <= now {
@@ -1061,11 +1130,19 @@ impl Dilos {
                 (self.inflight.len() - 1) as u32
             }
         };
+        // The landing is a first-class calendar event: when virtual time
+        // reaches `ready_at` the page is mapped then, not lazily at the next
+        // reclaim pass (§4.3: completed prefetches are "mapped into the
+        // unified page table immediately").
+        let event = self
+            .cal
+            .schedule(ready_at, SchedEvent::PrefetchLand { vpn, token: idx });
         self.inflight[idx as usize] = Some(InflightEntry {
             frame,
             ready_at,
             vpn,
             swap_cached: self.cfg.swap_cache_mode,
+            event,
         });
         self.trace.emit(t, TraceEvent::PrefetchIssue { vpn });
         self.set_pte(t, vpn, Pte::Fetching { inflight: idx });
@@ -1084,7 +1161,10 @@ impl Dilos {
             return self.frames.pop_free(now);
         }
         if self.frames.free_count() <= self.wm.low {
-            self.bg_reclaim(now);
+            self.kick_reclaim(now);
+            // An idle reclaimer's first tick is due immediately; let it run
+            // so the watermark reacts to prefetch pressure, not just faults.
+            self.drain_events(now);
         }
         if self.frames.free_count() <= self.wm.low / 2 + 1 {
             return None;
@@ -1120,23 +1200,31 @@ impl Dilos {
         let mut now = t;
         let mut spins = 0u32;
         loop {
+            self.drain_events(now);
             if self.frames.free_count() <= self.wm.low {
-                self.bg_reclaim(now);
+                self.kick_reclaim(now);
+                // The tick may be due at `now` (idle reclaimer): run it.
+                self.drain_events(now);
             }
             if let Some(f) = self.frames.pop_free(now) {
                 return (f, now, 0);
             }
-            match self.frames.earliest_available() {
-                Some(avail) if avail > now => now = avail,
-                _ => {
-                    // Free list truly empty: the background reclaimer must
-                    // produce a frame; wait for its next completion.
-                    self.bg_reclaim(now);
-                    if self.frames.free_count() == 0 {
-                        now = now.max(self.bg.busy_until()) + 1;
-                    }
+            // Free list empty at `now`: wait for whichever comes first — a
+            // frame already committed to the free list becoming available,
+            // or the next calendar event (reclaim tick, cleaner writeback,
+            // prefetch landing) that can produce one.
+            let mut next: Option<Ns> = None;
+            if let Some(avail) = self.frames.earliest_available() {
+                if avail > now {
+                    next = Some(avail);
                 }
             }
+            if let Some(due) = self.cal.next_due() {
+                if due > now {
+                    next = Some(next.map_or(due, |n| n.min(due)));
+                }
+            }
+            now = next.unwrap_or(now + 1);
             spins += 1;
             assert!(
                 spins < 100_000,
@@ -1194,59 +1282,116 @@ impl Dilos {
     }
 
     // ------------------------------------------------------------------
-    // Background cleaner + reclaimer (§4.4).
+    // Event calendar: the background half of the node (§4.3/§4.4).
     // ------------------------------------------------------------------
 
-    /// Refills the free list to the high watermark on the background thread.
-    ///
-    /// The clock hand gives accessed pages a second chance; dirty victims
-    /// are written back (whole page, or only live chunks under a paging
-    /// guide) before their frame is recycled.
-    fn bg_reclaim(&mut self, now: Ns) {
-        // Completion handling first: prefetched pages whose fetch has landed
-        // are "mapped into the unified page table immediately" (§4.3). This
-        // also makes never-touched prefetches visible to the reclaimer —
-        // otherwise they would pin their frames forever.
-        self.finalize_inflight(now);
-        let free_before = self.frames.free_count();
-        self.trace.emit(
-            now,
-            TraceEvent::ReclaimBegin {
-                free: free_before as u32,
-            },
-        );
-        let target = self.wm.high;
-        let mut guard = 2 * self.ring.len() + 8;
-        while self.frames.free_count() < target && guard > 0 {
-            guard -= 1;
-            let Some((slot, vpn, frame, dirty, scan_end)) = self.pick_victim(now) else {
-                break;
-            };
-            let _ = self.evict(vpn, frame, slot, dirty, scan_end, ServiceClass::Cleaner);
+    /// Delivers every calendar event due at or before `now`.
+    fn drain_events(&mut self, now: Ns) {
+        while let Some((t, ev)) = self.cal.pop_due(now) {
+            self.dispatch(t, ev);
         }
-        self.trace.emit(
-            now,
-            TraceEvent::ReclaimEnd {
-                freed: self.frames.free_count().saturating_sub(free_before) as u32,
-            },
-        );
     }
 
-    /// Maps every completed in-flight (pre)fetch into the page table.
-    fn finalize_inflight(&mut self, now: Ns) {
-        for idx in 0..self.inflight.len() {
-            let Some(e) = self.inflight[idx] else {
-                continue;
-            };
-            if e.ready_at > now {
-                continue;
+    /// Delivers one calendar event at its scheduled time `t`.
+    fn dispatch(&mut self, t: Ns, ev: SchedEvent) {
+        match ev {
+            SchedEvent::PrefetchLand { vpn, token } => self.on_prefetch_land(t, vpn, token),
+            SchedEvent::ReclaimTick => self.on_reclaim_tick(t),
+            SchedEvent::CleanerWriteback { frame } => {
+                self.pending_clean -= 1;
+                self.frames.push_free(frame, t);
             }
-            self.inflight[idx] = None;
-            self.inflight_free.push(idx as u32);
-            self.trace
-                .emit(now, TraceEvent::PrefetchLand { vpn: e.vpn });
-            self.map_page(now, e.vpn, e.frame, 0);
+            SchedEvent::RdmaCompletion {
+                class,
+                write,
+                node,
+                core,
+            } => self.rdma.deliver_completion(t, class, write, node, core),
+            SchedEvent::NodeRepair { node } => self.rdma.repair_node(node),
         }
+    }
+
+    /// A (pre)fetch completed at `t`: map the page into the unified page
+    /// table at its true completion time (§4.3: "mapped immediately").
+    ///
+    /// The event may be stale — test hooks can drop the in-flight entry
+    /// without cancelling, and a stale delivery must not touch a reused
+    /// slot — so the entry is validated against the event's vpn first.
+    fn on_prefetch_land(&mut self, t: Ns, vpn: u64, token: u32) {
+        let Some(entry) = self.inflight.get(token as usize).copied().flatten() else {
+            return;
+        };
+        if entry.vpn != vpn {
+            return;
+        }
+        self.inflight[token as usize] = None;
+        self.inflight_free.push(token);
+        self.trace.emit(t, TraceEvent::PrefetchLand { vpn });
+        // The payload is on the frame exactly at `t`; a core whose clock
+        // lags behind the landing stalls until then (resolve's Local path).
+        self.map_page(t, vpn, entry.frame, t);
+    }
+
+    /// Schedules the next reclaim tick if the watermark asks for one and no
+    /// tick is already pending. The tick runs when the background core is
+    /// next free — not "now", which is the lie the old single-instant
+    /// reclaim episode told.
+    fn kick_reclaim(&mut self, now: Ns) {
+        if self.cfg.direct_reclaim || self.tick_pending {
+            return;
+        }
+        self.tick_pending = true;
+        self.cal
+            .schedule(self.bg.next_free(now), SchedEvent::ReclaimTick);
+    }
+
+    /// One reclaimer tick: scan for a victim, evict it, and chain the next
+    /// tick — one victim per tick, each at the background core's true time,
+    /// so an episode's evictions spread across virtual time instead of
+    /// collapsing onto a single instant.
+    fn on_reclaim_tick(&mut self, t: Ns) {
+        self.tick_pending = false;
+        // Target met? Frames whose cleaner writeback is in flight count:
+        // they are already committed to return.
+        if self.frames.free_count() + self.pending_clean >= self.wm.high {
+            self.close_episode(t);
+            return;
+        }
+        let Some((slot, vpn, frame, dirty, scan_end)) = self.pick_victim(t) else {
+            // Nothing evictable this round (everything cold is in flight).
+            self.close_episode(t);
+            return;
+        };
+        if !self.episode_open {
+            self.episode_open = true;
+            self.episode_freed = 0;
+            self.trace.emit(
+                t,
+                TraceEvent::ReclaimBegin {
+                    free: self.frames.free_count() as u32,
+                },
+            );
+        }
+        let _ = self.evict(vpn, frame, slot, dirty, scan_end, ServiceClass::Cleaner);
+        self.episode_freed += 1;
+        self.tick_pending = true;
+        self.cal
+            .schedule(self.bg.next_free(scan_end), SchedEvent::ReclaimTick);
+    }
+
+    /// Emits `ReclaimEnd` for the open episode, if any.
+    fn close_episode(&mut self, t: Ns) {
+        if !self.episode_open {
+            return;
+        }
+        self.episode_open = false;
+        self.trace.emit(
+            t,
+            TraceEvent::ReclaimEnd {
+                freed: self.episode_freed,
+            },
+        );
+        self.episode_freed = 0;
     }
 
     /// Chooses the eviction victim: the least-recently-used resident frame
@@ -1377,7 +1522,18 @@ impl Dilos {
         self.lru.remove(frame as u64);
         self.unlink_ring(slot);
         self.set_pte(t, vpn, new_pte);
-        self.frames.push_free(frame, available_at);
+        if !self.cfg.direct_reclaim && available_at > t {
+            // Background eviction with the writeback still on the wire: the
+            // frame rejoins the free list when the cleaner's completion
+            // event delivers, not before. Direct reclaim stays synchronous —
+            // the handler pays for the wait, which is the point of that
+            // ablation.
+            self.pending_clean += 1;
+            self.cal
+                .schedule(available_at, SchedEvent::CleanerWriteback { frame });
+        } else {
+            self.frames.push_free(frame, available_at);
+        }
         self.stats.evictions += 1;
         available_at
     }

@@ -12,6 +12,10 @@
 //!
 //! - [`time`]: virtual-time primitives ([`Ns`], per-core [`CoreClock`]s).
 //! - [`timeline`]: serially-occupied resources ([`Timeline`]).
+//! - [`sched`]: the deterministic discrete-event calendar ([`Calendar`])
+//!   that delivers background work — prefetch landings, reclaim ticks,
+//!   cleaner writebacks, RDMA completions, node repairs — at its true
+//!   virtual time.
 //! - [`config`]: the calibration constants ([`SimConfig`]), sourced from the
 //!   paper's Figures 1, 2, and 6 and §6.2.
 //! - [`memnode`]: the memory node — a registered remote memory region served
@@ -35,6 +39,7 @@ pub mod lru;
 pub mod memnode;
 pub mod rdma;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod timeline;
@@ -47,6 +52,7 @@ pub use lru::LruChain;
 pub use memnode::{MemoryNode, RegionHandle};
 pub use rdma::{RdmaEndpoint, RdmaError, Segment};
 pub use rng::{MixedSizes, SplitMix64, Zipf};
+pub use sched::{Calendar, EventId, SchedEvent};
 pub use stats::{BandwidthRecorder, LatencyHistogram};
 pub use time::{CoreClock, Ns, PAGE_SIZE};
 pub use timeline::Timeline;

@@ -173,6 +173,29 @@ impl MemoryNode {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Page numbers materialized on the node, sorted ascending.
+    ///
+    /// Control-path enumeration for node repair: the endpoint walks the
+    /// survivors' resident sets to decide which pages a returning node must
+    /// resynchronize. Sorted so the repair order is deterministic.
+    pub fn resident_page_numbers(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pages.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Control-path snapshot of one materialized page (no rkey check, no
+    /// trace) — `None` if the page was never written.
+    pub fn page_snapshot(&self, page: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&page).map(|b| &**b)
+    }
+
+    /// Control-path page install (no rkey check, no trace): resync writes
+    /// reconstructed content directly into a repaired node's pool.
+    pub fn install_page(&mut self, page: u64, data: &[u8; PAGE_SIZE]) {
+        self.pages.insert(page, Box::new(*data));
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,8 @@ use crate::config::SimConfig;
 use crate::ec::ReedSolomon;
 use crate::fabric::{Fabric, ServiceClass};
 use crate::memnode::{MemNodeError, MemoryNode, RegionHandle};
-use crate::time::Ns;
+use crate::sched::{Calendar, SchedEvent};
+use crate::time::{Ns, PAGE_SIZE};
 use crate::timeline::Timeline;
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -125,6 +126,10 @@ pub struct RdmaEndpoint {
     tcp_mode: bool,
     failovers: u64,
     trace: TraceSink,
+    /// When attached, traced verb completions are delivered through the
+    /// event calendar at their true virtual time instead of being emitted
+    /// inline at issue time.
+    calendar: Option<Calendar>,
 }
 
 impl RdmaEndpoint {
@@ -191,6 +196,7 @@ impl RdmaEndpoint {
             tcp_mode: false,
             failovers: 0,
             trace: TraceSink::disabled(),
+            calendar: None,
         }
     }
 
@@ -238,7 +244,32 @@ impl RdmaEndpoint {
         );
     }
 
+    /// Attaches the shared event calendar. Traced completions are then
+    /// posted as [`SchedEvent::RdmaCompletion`] entries and surface in the
+    /// trace when the owner drains the calendar (via
+    /// [`deliver_completion`](Self::deliver_completion)), so the
+    /// `RdmaComplete` event appears at its delivery time rather than
+    /// wherever in the issue sequence the verb happened to be posted.
+    pub fn set_calendar(&mut self, cal: Calendar) {
+        self.calendar = Some(cal);
+    }
+
     fn trace_complete(&self, core: usize, class: ServiceClass, write: bool, node: u8, done: Ns) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        if let Some(cal) = &self.calendar {
+            cal.schedule(
+                done,
+                SchedEvent::RdmaCompletion {
+                    class,
+                    write,
+                    node,
+                    core: core as u8,
+                },
+            );
+            return;
+        }
         self.trace.emit(
             done,
             TraceEvent::RdmaComplete {
@@ -247,6 +278,22 @@ impl RdmaEndpoint {
                 node,
                 core: core as u8,
                 done,
+            },
+        );
+    }
+
+    /// Emits the deferred `RdmaComplete` trace event for a calendar-delivered
+    /// [`SchedEvent::RdmaCompletion`] (the dispatch half of the pair created
+    /// by [`set_calendar`](Self::set_calendar)).
+    pub fn deliver_completion(&self, t: Ns, class: ServiceClass, write: bool, node: u8, core: u8) {
+        self.trace.emit(
+            t,
+            TraceEvent::RdmaComplete {
+                class,
+                write,
+                node,
+                core,
+                done: t,
             },
         );
     }
@@ -285,6 +332,126 @@ impl RdmaEndpoint {
     /// over to replicas (or return [`RdmaError::AllReplicasDown`]).
     pub fn fail_node(&mut self, i: usize) {
         self.nodes[i].alive = false;
+    }
+
+    /// Whether memory node `i` is currently online.
+    pub fn node_alive(&self, i: usize) -> bool {
+        self.nodes[i].alive
+    }
+
+    /// Brings memory node `i` back online and resynchronizes its contents
+    /// from the surviving redundancy: replica copies in replication mode,
+    /// Reed–Solomon reconstruction in erasure-coding mode. A no-op if the
+    /// node is already alive.
+    ///
+    /// This is the dispatch target of a [`SchedEvent::NodeRepair`] calendar
+    /// event, so an operator can schedule the repair at a future virtual
+    /// time; it is also safe to call directly. Resync is a control-path
+    /// operation: it moves bytes without charging verb latency or emitting
+    /// data-path trace events.
+    pub fn repair_node(&mut self, i: usize) {
+        if self.nodes[i].alive {
+            return;
+        }
+        self.nodes[i].alive = true;
+        self.nodes[i].death_detected = false;
+        if self.ec.is_some() {
+            self.ec_resync(i);
+        } else if self.replication > 1 {
+            self.replica_resync(i);
+        }
+    }
+
+    /// Replication-mode resync: every page whose replica set includes `i`
+    /// is copied from its first other live replica. Pages written during
+    /// the outage only reached the survivors, so the full copy restores
+    /// them; pages `i` alone replicated are unrecoverable and left as-is.
+    fn replica_resync(&mut self, i: usize) {
+        let mut todo: Vec<u64> = Vec::new();
+        for (j, n) in self.nodes.iter().enumerate() {
+            if j == i || !n.alive {
+                continue;
+            }
+            for p in n.node.resident_page_numbers() {
+                if self.replicas(p << 12).any(|r| r == i) {
+                    todo.push(p);
+                }
+            }
+        }
+        todo.sort_unstable();
+        todo.dedup();
+        for p in todo {
+            let src = self
+                .replicas(p << 12)
+                .find(|&r| r != i && self.nodes[r].alive);
+            let Some(src) = src else { continue };
+            let Some(page) = self.nodes[src].node.page_snapshot(p).copied() else {
+                continue;
+            };
+            self.nodes[i].node.install_page(p, &page);
+        }
+    }
+
+    /// Erasure-coding resync: for every span group with any materialized
+    /// shard, node `i`'s shard (one data lane or one parity, by placement)
+    /// is rebuilt from the `k + m − 1` surviving shards.
+    fn ec_resync(&mut self, i: usize) {
+        let (ec_k, ec_m, parity_base) = {
+            let ec = self.ec.as_ref().expect("ec mode");
+            (ec.rs.k(), ec.rs.m(), ec.parity_base)
+        };
+        let parity_page0 = parity_base >> 12;
+        let mut groups: Vec<u64> = Vec::new();
+        for n in &self.nodes {
+            for p in n.node.resident_page_numbers() {
+                groups.push(if p >= parity_page0 {
+                    (p - parity_page0) / ec_m as u64
+                } else {
+                    p / ec_k as u64
+                });
+            }
+        }
+        groups.sort_unstable();
+        groups.dedup();
+        for g in groups {
+            // Node i hosts at most one shard of each group (all k + m shard
+            // nodes are distinct). Gather the others; leave i's slot as the
+            // unknown for reconstruction.
+            let mut mine: Option<(usize, u64)> = None;
+            let mut shards: Vec<Option<Vec<u8>>> = (0..ec_k + ec_m)
+                .map(|slot| {
+                    let (n, page) = if slot < ec_k {
+                        (self.ec_data_node(g, slot), g * ec_k as u64 + slot as u64)
+                    } else {
+                        let (n, pbase) = self.ec_parity_loc(g, slot - ec_k);
+                        (n, pbase >> 12)
+                    };
+                    if n == i {
+                        mine = Some((slot, page));
+                        return None;
+                    }
+                    Some(
+                        self.nodes[n]
+                            .node
+                            .page_snapshot(page)
+                            .map_or_else(|| vec![0u8; PAGE_SIZE], |p| p.to_vec()),
+                    )
+                })
+                .collect();
+            let Some((slot, page)) = mine else { continue };
+            let ok = {
+                let ec = self.ec.as_ref().expect("ec mode");
+                ec.rs.reconstruct(&mut shards).is_ok()
+            };
+            if !ok {
+                continue;
+            }
+            let data: &[u8; PAGE_SIZE] = shards[slot]
+                .as_deref()
+                .and_then(|s| s.try_into().ok())
+                .expect("reconstructed shard is one page");
+            self.nodes[i].node.install_page(page, data);
+        }
     }
 
     /// How many reads had to fail over to a non-primary replica.
@@ -1094,5 +1261,107 @@ mod tests {
             degraded > direct,
             "degraded read must cost more: {degraded} vs {direct}"
         );
+    }
+
+    #[test]
+    fn repaired_replica_node_catches_up_on_downtime_writes() {
+        let mut e = RdmaEndpoint::connect_cluster(SimConfig::default(), 1 << 24, 3, 2);
+        for p in 0..6u64 {
+            e.write(0, 0, ServiceClass::App, p * 4096, &[0x11; 32])
+                .unwrap();
+        }
+        e.fail_node(0);
+        // Writes during the outage reach only the survivors.
+        for p in 0..6u64 {
+            e.write(0, 0, ServiceClass::App, p * 4096, &[0x22; 32])
+                .unwrap();
+        }
+        e.repair_node(0);
+        let failovers_before = e.failovers();
+        let mut buf = [0u8; 32];
+        for p in 0..6u64 {
+            e.read(0, 0, ServiceClass::App, p * 4096, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == 0x22), "page {p} must be fresh");
+        }
+        assert_eq!(
+            e.failovers(),
+            failovers_before,
+            "a repaired primary serves its shards directly"
+        );
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_a_live_node() {
+        let mut e = RdmaEndpoint::connect_cluster(SimConfig::default(), 1 << 24, 3, 2);
+        e.write(0, 0, ServiceClass::App, 0, &[5; 16]).unwrap();
+        e.repair_node(1);
+        let mut buf = [0u8; 16];
+        e.read(0, 0, ServiceClass::App, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 5));
+    }
+
+    #[test]
+    fn repaired_ec_node_is_rebuilt_from_survivors() {
+        // 5 nodes, k=3, m=2. Fail one node, mutate during the outage,
+        // repair — then fail two *other* nodes: correct reads now depend on
+        // the repaired node's reconstructed shards.
+        let mut e = RdmaEndpoint::connect_ec(SimConfig::default(), 1 << 22, 5, 3, 2);
+        let pages = 24u64;
+        for p in 0..pages {
+            e.write(0, 0, ServiceClass::App, p * 4096, &[0x31; 96])
+                .unwrap();
+        }
+        e.fail_node(0);
+        for p in 0..pages {
+            e.write(0, 0, ServiceClass::App, p * 4096, &[0x32; 96])
+                .unwrap();
+        }
+        e.repair_node(0);
+        e.fail_node(1);
+        e.fail_node(2);
+        let mut buf = [0u8; 96];
+        for p in 0..pages {
+            e.read(0, 0, ServiceClass::App, p * 4096, &mut buf).unwrap();
+            assert!(
+                buf.iter().all(|&b| b == 0x32),
+                "page {p} must reflect downtime writes after repair"
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_defers_traced_completions_to_delivery_time() {
+        use crate::sched::{Calendar, SchedEvent};
+
+        let mut e = ep();
+        let trace = TraceSink::recording();
+        let cal = Calendar::new();
+        e.set_trace(trace.clone());
+        e.set_calendar(cal.clone());
+        let mut buf = [0u8; PAGE_SIZE];
+        let done = e.read(1_000, 0, ServiceClass::Fault, 0, &mut buf).unwrap();
+        assert!(
+            !trace
+                .events()
+                .iter()
+                .any(|(_, ev)| matches!(ev, TraceEvent::RdmaComplete { .. })),
+            "completion must not be emitted at issue time"
+        );
+        let Some((
+            t,
+            SchedEvent::RdmaCompletion {
+                class,
+                write,
+                node,
+                core,
+            },
+        )) = cal.pop_due(done)
+        else {
+            panic!("expected a scheduled completion");
+        };
+        assert_eq!(t, done);
+        e.deliver_completion(t, class, write, node, core);
+        assert!(trace.events().iter().any(|&(at, ev)| at == done
+            && matches!(ev, TraceEvent::RdmaComplete { done: d, .. } if d == done)));
     }
 }

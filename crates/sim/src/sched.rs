@@ -1,0 +1,292 @@
+//! The discrete-event calendar: background work at true virtual times.
+//!
+//! Earlier revisions of this simulator modeled background concurrency
+//! lazily — a whole reclaim episode executed at one virtual instant, and
+//! landed prefetches were only mapped when a reclaim episode happened to
+//! run. The [`Calendar`] replaces that with a real discrete-event engine:
+//! components *schedule* typed [`SchedEvent`]s at their true completion
+//! times and the owning node *drains* everything due before each access, so
+//! prefetch landings, incremental reclaim ticks, cleaner writebacks, RDMA
+//! completions, and node repairs all interleave with foreground faults on
+//! one shared virtual timeline.
+//!
+//! Determinism is part of the contract: the heap is keyed on `(Ns, seq)`
+//! where `seq` is a monotone insertion counter, so two events due at the
+//! same instant always pop in the order they were scheduled — no hash-map
+//! iteration or allocator-address dependence can leak into the event order.
+//!
+//! Like [`TraceSink`](crate::trace::TraceSink), a `Calendar` is a cheap
+//! cloneable handle over shared state: the paging node, its RDMA endpoint,
+//! and any background daemon all hold clones of the same calendar.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+use crate::fabric::ServiceClass;
+use crate::time::Ns;
+
+/// Identifies a scheduled event so it can be cancelled before delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// A typed background occurrence scheduled for a future virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// An in-flight fetch for `vpn` arrives; `token` names the in-flight
+    /// table slot it was issued from so a stale landing (slot reused after
+    /// the original fetch was consumed or abandoned) can be recognized.
+    PrefetchLand { vpn: u64, token: u32 },
+    /// One step of the background reclaimer: scan and evict (at most) one
+    /// victim, then reschedule if the pool is still below the high
+    /// watermark.
+    ReclaimTick,
+    /// The cleaner finished writing back the page that occupied `frame`;
+    /// the frame returns to the free list now.
+    CleanerWriteback { frame: u32 },
+    /// An RDMA verb completed on the wire (mirrors
+    /// [`TraceEvent::RdmaComplete`](crate::trace::TraceEvent::RdmaComplete),
+    /// which is emitted at delivery time).
+    RdmaCompletion {
+        class: ServiceClass,
+        write: bool,
+        node: u8,
+        core: u8,
+    },
+    /// A failed memory node comes back and must be resynced.
+    NodeRepair { node: usize },
+}
+
+/// One calendar entry. Ordered by `(at, seq)` — earliest first, insertion
+/// order breaking ties.
+#[derive(Debug, Clone)]
+struct Entry {
+    at: Ns,
+    seq: u64,
+    ev: SchedEvent,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest entry
+        // (smallest `(at, seq)`) on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+#[derive(Debug, Default)]
+struct CalendarCore {
+    heap: BinaryHeap<Entry>,
+    /// Lazily-cancelled entries, dropped when they surface.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl CalendarCore {
+    /// Drops cancelled entries off the top of the heap.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// A cloneable handle to a shared deterministic event calendar.
+#[derive(Clone, Default)]
+pub struct Calendar {
+    inner: Rc<RefCell<CalendarCore>>,
+}
+
+impl std::fmt::Debug for Calendar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Calendar(pending={})", self.len())
+    }
+}
+
+impl Calendar {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `ev` for delivery at virtual time `at`.
+    ///
+    /// Events due at the same instant are delivered in scheduling order.
+    pub fn schedule(&self, at: Ns, ev: SchedEvent) -> EventId {
+        let mut c = self.inner.borrow_mut();
+        let seq = c.next_seq;
+        c.next_seq += 1;
+        c.heap.push(Entry { at, seq, ev });
+        EventId(seq)
+    }
+
+    /// Cancels a pending event. Returns false if it was already delivered
+    /// or cancelled.
+    pub fn cancel(&self, id: EventId) -> bool {
+        let mut c = self.inner.borrow_mut();
+        let live = c.heap.iter().any(|e| e.seq == id.0);
+        if live && c.cancelled.insert(id.0) {
+            c.skim();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The delivery time of the next pending event, if any.
+    pub fn next_due(&self) -> Option<Ns> {
+        let mut c = self.inner.borrow_mut();
+        c.skim();
+        c.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next event due at or before `now`, with its delivery time.
+    pub fn pop_due(&self, now: Ns) -> Option<(Ns, SchedEvent)> {
+        let mut c = self.inner.borrow_mut();
+        c.skim();
+        match c.heap.peek() {
+            Some(e) if e.at <= now => {
+                let e = c.heap.pop().expect("peeked");
+                Some((e.at, e.ev))
+            }
+            _ => None,
+        }
+    }
+
+    /// Pops the next event regardless of its due time (used to quiesce the
+    /// system at end of run, when no more foreground work will advance the
+    /// clocks past pending deliveries).
+    pub fn pop_next(&self) -> Option<(Ns, SchedEvent)> {
+        let mut c = self.inner.borrow_mut();
+        c.skim();
+        c.heap.pop().map(|e| (e.at, e.ev))
+    }
+
+    /// Pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        let c = self.inner.borrow();
+        c.heap.len() - c.cancelled.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let c = Calendar::new();
+        c.schedule(300, SchedEvent::ReclaimTick);
+        c.schedule(100, SchedEvent::CleanerWriteback { frame: 1 });
+        c.schedule(200, SchedEvent::NodeRepair { node: 0 });
+        assert_eq!(c.next_due(), Some(100));
+        assert_eq!(
+            c.pop_next(),
+            Some((100, SchedEvent::CleanerWriteback { frame: 1 }))
+        );
+        assert_eq!(
+            c.pop_next(),
+            Some((200, SchedEvent::NodeRepair { node: 0 }))
+        );
+        assert_eq!(c.pop_next(), Some((300, SchedEvent::ReclaimTick)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let c = Calendar::new();
+        for token in 0..16u32 {
+            c.schedule(50, SchedEvent::PrefetchLand { vpn: 0, token });
+        }
+        for expect in 0..16u32 {
+            let Some((50, SchedEvent::PrefetchLand { token, .. })) = c.pop_next() else {
+                panic!("expected a tie-broken landing");
+            };
+            assert_eq!(token, expect, "ties must pop in scheduling order");
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let c = Calendar::new();
+        c.schedule(100, SchedEvent::ReclaimTick);
+        c.schedule(200, SchedEvent::ReclaimTick);
+        assert!(c.pop_due(99).is_none());
+        assert_eq!(c.pop_due(100), Some((100, SchedEvent::ReclaimTick)));
+        assert!(c.pop_due(150).is_none());
+        assert_eq!(c.pop_due(250), Some((200, SchedEvent::ReclaimTick)));
+        assert!(c.pop_due(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery() {
+        let c = Calendar::new();
+        let a = c.schedule(10, SchedEvent::PrefetchLand { vpn: 1, token: 0 });
+        let b = c.schedule(20, SchedEvent::PrefetchLand { vpn: 2, token: 1 });
+        assert!(c.cancel(a));
+        assert!(!c.cancel(a), "double cancel reports false");
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.pop_next(),
+            Some((20, SchedEvent::PrefetchLand { vpn: 2, token: 1 }))
+        );
+        assert!(!c.cancel(b), "cancel after delivery reports false");
+    }
+
+    #[test]
+    fn clones_share_one_calendar() {
+        let c = Calendar::new();
+        let c2 = c.clone();
+        c.schedule(5, SchedEvent::ReclaimTick);
+        assert_eq!(c2.len(), 1);
+        assert_eq!(c2.pop_due(5), Some((5, SchedEvent::ReclaimTick)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        let run = || {
+            let c = Calendar::new();
+            let mut order = Vec::new();
+            c.schedule(10, SchedEvent::CleanerWriteback { frame: 0 });
+            c.schedule(30, SchedEvent::CleanerWriteback { frame: 1 });
+            while let Some((t, ev)) = c.pop_due(20) {
+                order.push((t, ev));
+                // Deliveries may reschedule.
+                if order.len() == 1 {
+                    c.schedule(15, SchedEvent::CleanerWriteback { frame: 2 });
+                }
+            }
+            while let Some(e) = c.pop_next() {
+                order.push(e);
+            }
+            order
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().len(), 3);
+    }
+}

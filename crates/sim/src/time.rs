@@ -85,9 +85,11 @@ impl Cores {
         self.clocks.len()
     }
 
-    /// Returns true if there is exactly one core (never zero).
+    /// Returns true when there are no cores. The constructor rejects
+    /// `n == 0`, so this is always false today — but it is derived from the
+    /// actual length so the API cannot lie if the invariant ever changes.
     pub fn is_empty(&self) -> bool {
-        false
+        self.clocks.is_empty()
     }
 
     /// Returns core `id`'s current time.
@@ -160,6 +162,8 @@ mod tests {
         cores.advance(1, 30);
         cores.advance(2, 20);
         assert_eq!(cores.earliest(), 0);
+        assert!(!cores.is_empty());
+        assert_eq!(cores.len(), 3);
         let t = cores.barrier();
         assert_eq!(t, 30);
         for i in 0..3 {

@@ -41,6 +41,15 @@ impl Timeline {
         self.busy_until
     }
 
+    /// The earliest instant, no earlier than `now`, at which the resource
+    /// can start new work. This is the scheduling hook the event calendar
+    /// uses: background daemons (the reclaimer, the offload core) schedule
+    /// their next tick at `next_free(now)` instead of pretending the
+    /// resource was idle.
+    pub fn next_free(&self, now: Ns) -> Ns {
+        self.busy_until.max(now)
+    }
+
     /// Total busy time accumulated (for utilization reporting).
     pub fn total_busy(&self) -> Ns {
         self.total_busy
@@ -88,6 +97,15 @@ mod tests {
         let (s, _) = t.acquire(1000, 10);
         assert_eq!(s, 1000, "resource idles between requests");
         assert_eq!(t.total_busy(), 20);
+    }
+
+    #[test]
+    fn next_free_is_now_when_idle_and_busy_until_when_not() {
+        let mut t = Timeline::new();
+        assert_eq!(t.next_free(40), 40, "idle resource is free immediately");
+        t.acquire(0, 100);
+        assert_eq!(t.next_free(40), 100);
+        assert_eq!(t.next_free(250), 250);
     }
 
     #[test]

@@ -69,4 +69,32 @@ fn main() {
     println!(
         "\nnew working set allocated, evicted, and re-fetched on the surviving nodes — all good"
     );
+
+    // An operator schedules the repair for 5 ms out (virtual time). The
+    // event calendar dispatches it mid-workload: node 1 comes back online
+    // and resynchronizes from the surviving replicas, and subsequent reads
+    // stop paying the failover path.
+    let repair_at = node.now(0) + 5_000_000;
+    node.schedule_memory_node_repair(repair_at, 1);
+    println!(
+        "\nrepair of node 1 scheduled at t = {:.2} ms",
+        repair_at as f64 / 1e6
+    );
+
+    let failovers_before = node.rdma().failovers();
+    let mut sweeps = 0u32;
+    while node.now(0) < repair_at + 1_000_000 {
+        for p in 0..pages {
+            assert_eq!(node.read_u64(0, va + p * 4096), p.wrapping_mul(0xABCD));
+        }
+        sweeps += 1;
+    }
+    println!(
+        "node 1 repaired mid-workload ({} sweeps, {} failovers during the outage window); \
+         pool healthy again at t = {:.2} ms",
+        sweeps,
+        node.rdma().failovers() - failovers_before,
+        node.now(0) as f64 / 1e6
+    );
+    assert!(node.rdma().node_alive(1), "repair event must have landed");
 }

@@ -80,6 +80,65 @@ fn different_seeds_produce_different_traces() {
 }
 
 #[test]
+fn reclaim_episodes_evict_at_distinct_virtual_times() {
+    use dilos::sim::TraceEvent;
+
+    let spec =
+        SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13).with_trace();
+    let mut mem = spec.boot();
+    drive(mem.as_mut(), 0xEC);
+    // trace_digest() quiesces the event calendar, so every in-flight
+    // reclaim tick has landed and every open episode is closed.
+    let _ = mem.trace_digest();
+    let events = mem.as_dilos().expect("DiLOS node").trace().events();
+
+    let mut in_episode = false;
+    let mut last_evict: Option<u64> = None;
+    let mut episodes = 0u32;
+    let mut multi_evict_episodes = 0u32;
+    let mut evicts_this_episode = 0u32;
+    for (t, ev) in events {
+        match ev {
+            TraceEvent::ReclaimBegin { .. } => {
+                assert!(!in_episode, "nested ReclaimBegin at {t}");
+                in_episode = true;
+                last_evict = None;
+                evicts_this_episode = 0;
+                episodes += 1;
+            }
+            TraceEvent::ReclaimEnd { .. } => {
+                assert!(in_episode, "ReclaimEnd without ReclaimBegin at {t}");
+                in_episode = false;
+                if evicts_this_episode > 1 {
+                    multi_evict_episodes += 1;
+                }
+            }
+            TraceEvent::Evict { vpn, .. } if in_episode => {
+                // Each eviction is one calendar tick: virtual time must
+                // advance strictly between victims. The old lazy-pull model
+                // stamped an entire episode at a single instant.
+                if let Some(prev) = last_evict {
+                    assert!(
+                        t > prev,
+                        "evictions of vpn {vpn:#x} and its predecessor share \
+                         virtual time {t} within one reclaim episode"
+                    );
+                }
+                last_evict = Some(t);
+                evicts_this_episode += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_episode, "quiesce must close the final episode");
+    assert!(episodes > 0, "workload must trigger background reclaim");
+    assert!(
+        multi_evict_episodes > 0,
+        "need at least one multi-eviction episode for the check to bite"
+    );
+}
+
+#[test]
 fn audited_deterministic_run_is_violation_free() {
     let spec =
         SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13).with_audit();
