@@ -209,6 +209,8 @@ impl Heap {
         let PageState::Small { bitmap, .. } = &mut self.pages[idx] else {
             unreachable!("selected page is a small page");
         };
+        // The page was selected (or just created) as non-full above.
+        #[allow(clippy::expect_used)]
         let block = bitmap.first_free().expect("page was not full");
         bitmap.set(block);
         if bitmap.is_full() {

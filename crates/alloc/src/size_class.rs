@@ -38,7 +38,7 @@ impl SizeClass {
 /// Returns the smallest size class holding `size` bytes, or `None` if the
 /// request is a large allocation (> half page).
 pub fn size_class_of(size: usize) -> Option<SizeClass> {
-    if size == 0 || size > *SIZE_CLASSES.last().expect("table is non-empty") {
+    if size == 0 || size > SIZE_CLASSES[SIZE_CLASSES.len() - 1] {
         return None;
     }
     let idx = SIZE_CLASSES.partition_point(|&c| c < size);

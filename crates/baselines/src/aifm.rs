@@ -18,7 +18,7 @@
 //! 3. **Object-granularity I/O** — fetches move the object (≤ one chunk),
 //!    not the page, and ride TCP with the paper's 14,000-cycle handicap.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dilos_sim::{
     Calendar, CoreClock, EventId, FaultKind, Ns, RdmaEndpoint, SchedEvent, ServiceClass, SimConfig,
@@ -123,7 +123,7 @@ const CHUNK: usize = PAGE_SIZE;
 pub struct Aifm {
     cfg: AifmConfig,
     rdma: RdmaEndpoint,
-    chunks: HashMap<u64, ChunkState>,
+    chunks: BTreeMap<u64, ChunkState>,
     /// Allocation sizes (object granularity for the final chunk).
     allocs: Vec<(u64, usize)>,
     local_count: usize,
@@ -139,7 +139,7 @@ pub struct Aifm {
     cal: Calendar,
     /// Pending `PrefetchLand` event per streamed-but-unlanded chunk, so a
     /// consuming dereference (or a free) can cancel the landing.
-    pending_land: HashMap<u64, EventId>,
+    pending_land: BTreeMap<u64, EventId>,
     /// Structured event trace (dark unless `cfg.trace`).
     trace: TraceSink,
 }
@@ -176,8 +176,8 @@ impl Aifm {
             rdma,
             trace,
             cal,
-            pending_land: HashMap::new(),
-            chunks: HashMap::new(),
+            pending_land: BTreeMap::new(),
+            chunks: BTreeMap::new(),
             allocs: Vec::new(),
             local_count: 0,
             lru: Vec::new(),

@@ -14,7 +14,7 @@
 //! DiLOS removes (swap-cache management, minor-fault storms, in-handler
 //! reclaim, TLB shootdowns on unmap) is present here and absent there.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dilos_sim::{
     Calendar, CoreClock, FaultKind, LruChain, Ns, RdmaEndpoint, SchedEvent, ServiceClass,
@@ -189,7 +189,7 @@ enum PageState {
 pub struct Fastswap {
     cfg: FastswapConfig,
     rdma: RdmaEndpoint,
-    state: HashMap<u64, PageState>,
+    state: BTreeMap<u64, PageState>,
     frames: Vec<Box<[u8; PAGE_SIZE]>>,
     free: Vec<u32>,
     /// Frames whose previous writeback completes at `Ns`.
@@ -244,7 +244,7 @@ impl Fastswap {
             rdma,
             trace,
             cal,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
             frames: (0..cfg.local_pages)
                 .map(|_| Box::new([0u8; PAGE_SIZE]))
                 .collect(),

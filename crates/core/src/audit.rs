@@ -27,7 +27,9 @@
 //! Violations are recorded as human-readable strings, in event order, and
 //! capped so a broken run cannot exhaust memory. A clean run reports none.
 
-use std::collections::{HashMap, HashSet};
+// Ordered containers: the auditor iterates these into reports, and
+// report order must be deterministic run-to-run.
+use std::collections::{BTreeMap, BTreeSet};
 
 use dilos_sim::{FaultKind, FaultPhase, Ns, PteClass, ServiceClass, TraceEvent, TraceObserver};
 
@@ -62,18 +64,18 @@ pub struct Auditor {
     violations: Vec<String>,
     suppressed: u64,
 
-    allocated: HashSet<u32>,
+    allocated: BTreeSet<u32>,
     allocs: u64,
     frees: u64,
 
-    outstanding: HashSet<u64>,
+    outstanding: BTreeSet<u64>,
     issues: u64,
     lands: u64,
     cancels: u64,
 
-    lru: HashSet<u64>,
+    lru: BTreeSet<u64>,
 
-    open_fault: HashMap<u8, u64>,
+    open_fault: BTreeMap<u8, u64>,
     majors: u64,
     minors: u64,
     zero_fills: u64,
@@ -144,9 +146,7 @@ impl Auditor {
 
     /// VPNs with an issued but not yet landed/cancelled fetch, sorted.
     pub fn outstanding_fetches(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.outstanding.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.outstanding.iter().copied().collect()
     }
 
     /// `(issued, landed, cancelled)` prefetch lifecycle counts.
@@ -208,8 +208,7 @@ impl Auditor {
     /// *not* flagged here — the owner cross-checks them against its in-flight
     /// table, since prefetches may legitimately be pending at shutdown.)
     pub fn final_checks(&mut self) {
-        let mut open: Vec<(u8, u64)> = self.open_fault.iter().map(|(&c, &v)| (c, v)).collect();
-        open.sort_unstable();
+        let open: Vec<(u8, u64)> = self.open_fault.iter().map(|(&c, &v)| (c, v)).collect();
         for (core, vpn) in open {
             self.flag(
                 0,

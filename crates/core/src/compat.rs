@@ -12,7 +12,9 @@
 //! application state ("the prefetcher hooks the list traversing code and
 //! tracks the position of the current node", §5).
 
-use std::collections::HashMap;
+// Ordered maps: `PatchReport` enumerates patched symbols straight out of
+// `symbols`, and that order must not depend on a hash seed.
+use std::collections::BTreeMap;
 
 /// The `mmap` flag selecting disaggregated backing (§5: `MAP_DDC`).
 pub const MAP_DDC: u32 = 0x0100_0000;
@@ -31,7 +33,7 @@ pub enum SymbolKind {
 /// A minimal model of an application's dynamic symbol table.
 #[derive(Debug, Default)]
 pub struct SymbolTable {
-    symbols: HashMap<String, (SymbolKind, String)>,
+    symbols: BTreeMap<String, (SymbolKind, String)>,
 }
 
 impl SymbolTable {
@@ -73,7 +75,7 @@ pub struct PatchReport {
 /// The DDC symbol patcher (the ELF-loader stage of §5).
 #[derive(Debug)]
 pub struct SymbolPatcher {
-    routes: HashMap<&'static str, &'static str>,
+    routes: BTreeMap<&'static str, &'static str>,
 }
 
 impl Default for SymbolPatcher {
@@ -85,7 +87,7 @@ impl Default for SymbolPatcher {
 impl SymbolPatcher {
     /// The standard malloc-family routing table.
     pub fn new() -> Self {
-        let mut routes = HashMap::new();
+        let mut routes = BTreeMap::new();
         routes.insert("malloc", "ddc_malloc");
         routes.insert("free", "ddc_free");
         routes.insert("calloc", "ddc_calloc");

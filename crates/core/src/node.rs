@@ -603,10 +603,7 @@ impl Dilos {
                     self.frames.push_free(frame, 0);
                 }
                 Pte::Fetching { inflight } => {
-                    let e = self.inflight[inflight as usize]
-                        .take()
-                        .expect("fetching PTE has an in-flight entry");
-                    self.inflight_free.push(inflight);
+                    let e = self.take_inflight(inflight);
                     self.cal.cancel(e.event);
                     self.trace.emit(t, TraceEvent::PrefetchCancel { vpn });
                     // The frame may be reused once the fetch has landed.
@@ -813,16 +810,31 @@ impl Dilos {
         }
     }
 
+    /// Consumes the in-flight entry behind a `Pte::Fetching` and recycles
+    /// its slot.
+    ///
+    /// # Panics
+    ///
+    /// A `Fetching` PTE always names a live slot: the entry is installed
+    /// before the PTE and the PTE is rewritten before the entry is taken,
+    /// so an empty slot is page-table corruption and unrecoverable.
+    #[allow(clippy::expect_used)]
+    fn take_inflight(&mut self, idx: u32) -> InflightEntry {
+        let entry = self.inflight[idx as usize]
+            .take()
+            // dilos-lint: allow(no-unwrap-in-hot-path, "Fetching PTE <-> inflight slot is a page-table invariant; an empty slot is corruption")
+            .expect("fetching PTE has an in-flight entry");
+        self.inflight_free.push(idx);
+        entry
+    }
+
     /// A fault on a page whose (pre)fetch is in flight.
     ///
     /// If the fetch already completed, the completion handler has mapped the
     /// page in the past: no fault is charged. Otherwise this is DiLOS's
     /// minor fault — exception, wait, map.
     fn fault_on_inflight(&mut self, core: usize, vpn: u64, idx: u32, is_write: bool) -> u32 {
-        let entry = self.inflight[idx as usize]
-            .take()
-            .expect("fetching PTE has an in-flight entry");
-        self.inflight_free.push(idx);
+        let entry = self.take_inflight(idx);
         // This access consumes the fetch; the scheduled landing must not
         // fire later against a reused slot.
         self.cal.cancel(entry.event);
@@ -928,9 +940,14 @@ impl Dilos {
         let done = match &vector {
             None => {
                 let mut page = [0u8; PAGE_SIZE];
+                // A demand fault cannot degrade gracefully: the faulting
+                // load needs the bytes now, so data loss here is fatal by
+                // design (mirrors a real machine taking SIGBUS).
+                #[allow(clippy::expect_used)]
                 let done = self
                     .rdma
                     .read(t_alloc, core, ServiceClass::Fault, remote, &mut page)
+                    // dilos-lint: allow(no-unwrap-in-hot-path, "demand fault with all replicas down is unrecoverable data loss")
                     .expect("demand fetch failed: address out of region or all replicas down");
                 self.frames.bytes_mut(frame).copy_from_slice(&page);
                 done
@@ -952,9 +969,12 @@ impl Dilos {
                     })
                     .collect();
                 let mut page = [0u8; PAGE_SIZE];
+                // Fatal by design, as in the unguided demand-fetch arm.
+                #[allow(clippy::expect_used)]
                 let done = self
                     .rdma
                     .read_v(t_alloc, core, ServiceClass::Fault, &segs, &mut page)
+                    // dilos-lint: allow(no-unwrap-in-hot-path, "demand fault with all replicas down is unrecoverable data loss")
                     .expect("guided fetch failed: address out of region or all replicas down");
                 let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
                 self.stats.guided_fetches += 1;
@@ -1086,21 +1106,25 @@ impl Dilos {
             return;
         };
         let remote = (vpn - DDC_BASE_VPN) << 12;
-        let ready_at = match &vector {
+        let fetched = match &vector {
             None => {
                 let mut page = [0u8; PAGE_SIZE];
-                let done = self
+                match self
                     .rdma
                     .read(t, core, ServiceClass::Prefetch, remote, &mut page)
-                    .expect("prefetch failed: all replicas of the page are down");
-                self.frames.bytes_mut(frame).copy_from_slice(&page);
-                done
+                {
+                    Ok(done) => {
+                        self.frames.bytes_mut(frame).copy_from_slice(&page);
+                        Ok(done)
+                    }
+                    Err(e) => Err(e),
+                }
             }
             Some(v) if v.is_empty() => {
                 self.frames.bytes_mut(frame).fill(0);
                 self.stats.guided_fetches += 1;
                 self.stats.fetch_bytes_saved += PAGE_SIZE as u64;
-                t
+                Ok(t)
             }
             Some(v) => {
                 let segs: Vec<Segment> = v
@@ -1112,15 +1136,35 @@ impl Dilos {
                     })
                     .collect();
                 let mut page = [0u8; PAGE_SIZE];
-                let done = self
+                match self
                     .rdma
                     .read_v(t, core, ServiceClass::Prefetch, &segs, &mut page)
-                    .expect("guided prefetch failed: all replicas of the page are down");
-                let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
-                self.stats.guided_fetches += 1;
-                self.stats.fetch_bytes_saved += (PAGE_SIZE - live) as u64;
-                self.frames.bytes_mut(frame).copy_from_slice(&page);
-                done
+                {
+                    Ok(done) => {
+                        let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
+                        self.stats.guided_fetches += 1;
+                        self.stats.fetch_bytes_saved += (PAGE_SIZE - live) as u64;
+                        self.frames.bytes_mut(frame).copy_from_slice(&page);
+                        Ok(done)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        let ready_at = match fetched {
+            Ok(done) => done,
+            Err(_) => {
+                // Prefetch is best-effort: on a degraded fabric (all
+                // replicas of this page down) drop the attempt, return the
+                // frame, and restore the action vector so the demand path
+                // can retry — and surface the failure — if the page is ever
+                // actually touched.
+                self.frames.push_free(frame, t);
+                if let Some(v) = vector {
+                    let idx = self.actions.insert(v);
+                    self.set_pte(t, vpn, Pte::Action { action: idx });
+                }
+                return;
             }
         };
         let idx = match self.inflight_free.pop() {
@@ -1472,9 +1516,13 @@ impl Dilos {
         match liveness {
             None | Some(PageLiveness::Full) => {
                 if dirty {
+                    // Dropping a dirty writeback would silently lose the
+                    // application's stores; fatal by design.
+                    #[allow(clippy::expect_used)]
                     let done = self
                         .rdma
                         .write(t, 0, class, remote, self.frames.bytes(frame))
+                        // dilos-lint: allow(no-unwrap-in-hot-path, "losing a dirty writeback is silent data corruption")
                         .expect("writeback failed: all replicas of the page are down");
                     available_at = done;
                     self.stats.writebacks += 1;
@@ -1502,9 +1550,12 @@ impl Dilos {
                             len: l,
                         })
                         .collect();
+                    // Fatal by design, as in the full-page writeback arm.
+                    #[allow(clippy::expect_used)]
                     let done = self
                         .rdma
                         .write_v(t, 0, class, &segs, self.frames.bytes(frame))
+                        // dilos-lint: allow(no-unwrap-in-hot-path, "losing a dirty writeback is silent data corruption")
                         .expect("guided writeback failed: all replicas of the page are down");
                     available_at = done;
                     let live: usize = ranges.iter().map(|&(_, l)| l).sum();

@@ -1,0 +1,146 @@
+//! `dilos-lint`: registry-free determinism & simulation-hygiene static
+//! analysis for the DiLOS workspace.
+//!
+//! The whole reproduction rests on one property: the simulator is
+//! deterministic, so same-seed runs produce identical trace digests and
+//! the paper orderings in `results/` are reproducible facts. That property
+//! is checked dynamically by `tests/determinism.rs`; this crate enforces
+//! it *statically*, so the bug classes that break it (wall-clock reads,
+//! hash-order iteration, hot-path panics, stale trace timestamps, ambient
+//! randomness) cannot be reintroduced silently.
+//!
+//! Five named rules (see [`rules::RULES`]):
+//!
+//! | rule | slug | invariant it protects |
+//! |------|------|-----------------------|
+//! | R1 | `no-wall-clock` | virtual time only — `Instant`/`SystemTime` banned outside `crates/criterion`/`crates/bench` |
+//! | R2 | `no-hash-iteration` | digest/trace/audit/stats order — no `HashMap`/`HashSet` iteration in the deterministic core |
+//! | R3 | `no-unwrap-in-hot-path` | survivability — no `unwrap`/`expect`/`panic!` in `crates/core`/`crates/sim` non-test code |
+//! | R4 | `calendar-time-only` | trace fidelity — `TraceSink::emit` times come from the live clock |
+//! | R5 | `no-ambient-rand` | reproducibility — randomness only via `dilos_sim::rng` seeded streams |
+//!
+//! Sites that are individually justified carry an inline suppression:
+//!
+//! ```text
+//! // dilos-lint: allow(no-unwrap-in-hot-path, "mode invariant: checked at dispatch")
+//! ```
+//!
+//! which shields the same line and the next, and is itself counted in the
+//! report's suppression ledger (unused suppressions are called out).
+//!
+//! Like the vendored `crates/proptest` shim, this crate has **zero
+//! registry dependencies**: the tokenizer, rule engine, and JSON writer
+//! are all hand-rolled.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{Report, Suppression, Violation};
+pub use rules::{lint_source, Scope, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (build output, VCS, and the deliberately
+/// violating lint fixtures).
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Path suffix of the fixture corpus: every file there violates a rule on
+/// purpose, so the tree scan must not see them.
+const FIXTURE_DIR: &str = "crates/lint/tests/fixtures";
+
+/// Scans every `.rs` file under `root` (a workspace checkout) and returns
+/// the merged, sorted report.
+///
+/// Traversal order is deterministic (directory entries sorted by name), so
+/// two scans of the same tree produce byte-identical reports.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        report.absorb(lint_source(&rel_str, &src));
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Ok(rel) = path.strip_prefix(root) else {
+            continue;
+        };
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) || rel_str == FIXTURE_DIR {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_table_matches_design() {
+        let core = Scope::for_path("crates/core/src/node.rs");
+        assert!(core.r1 && core.r2 && core.r3 && core.r4 && core.r5);
+        let bench = Scope::for_path("crates/bench/src/bin/repro.rs");
+        assert!(!bench.r1 && !bench.r4 && bench.r5);
+        let criterion = Scope::for_path("crates/criterion/src/lib.rs");
+        assert!(!criterion.r1);
+        let baseline = Scope::for_path("crates/baselines/src/aifm.rs");
+        assert!(baseline.r2 && !baseline.r3);
+        let sim_test = Scope::for_path("crates/sim/tests/sim_properties.rs");
+        assert!(!sim_test.r2 && !sim_test.r3, "test targets are test code");
+        let app = Scope::for_path("crates/apps/src/redis/server.rs");
+        assert!(!app.r2 && !app.r3 && app.r1);
+    }
+
+    #[test]
+    fn suppression_shields_next_line_and_lands_in_ledger() {
+        let src = "\
+// dilos-lint: allow(no-wall-clock, \"host timing by design\")
+let t = Instant::now();
+let u = Instant::now();
+";
+        let r = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(r.violations.len(), 1, "only the unshielded line remains");
+        assert_eq!(r.violations[0].line, 3);
+        assert_eq!(r.suppressions.len(), 1);
+        assert!(r.suppressions[0].used);
+        assert_eq!(r.suppressions[0].reason, "host timing by design");
+    }
+
+    #[test]
+    fn unused_suppression_is_reported_unused() {
+        let src = "// dilos-lint: allow(no-ambient-rand, \"nothing here\")\nlet x = 1;\n";
+        let r = lint_source("crates/sim/src/x.rs", src);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressions.len(), 1);
+        assert!(!r.suppressions[0].used);
+    }
+}

@@ -1,0 +1,79 @@
+//! The `dilos-lint` CLI.
+//!
+//! ```text
+//! dilos-lint [--json] [--root <path>]
+//! ```
+//!
+//! Scans every `.rs` file in the workspace and prints either a human
+//! report or machine-readable JSON. Exit status is non-zero when any
+//! violation survives suppression, so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                root = args.next().map(PathBuf::from);
+                if root.is_none() {
+                    eprintln!("dilos-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: dilos-lint [--json] [--root <path>]");
+                println!("rules:");
+                for (code, slug) in dilos_lint::RULES {
+                    println!("  {code}  {slug}");
+                }
+                println!("suppress a site with: // dilos-lint: allow(<rule>, \"<reason>\")");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dilos-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let report = match dilos_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dilos-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_human());
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`; falls back to the current directory.
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The fixture battery: every rule is pinned by one violating and one
+//! clean snippet, linted under a virtual workspace path so the path-based
+//! scoping is exercised too. Assertions are exact — rule code, rule id,
+//! file, and line — so any drift in a rule's detection surface fails here
+//! first.
+
+use dilos_lint::{lint_source, Report};
+
+/// Asserts that `report` holds exactly `expect` violations, as
+/// `(rule, id, line)` triples in report (sorted) order, and that each one
+/// round-trips into the JSON output verbatim.
+fn assert_violations(report: &Report, file: &str, expect: &[(&str, &str, u32)]) {
+    let got: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.id, v.line))
+        .collect();
+    assert_eq!(got, expect, "violations for {file}:\n{}", report.to_human());
+    for v in &report.violations {
+        assert_eq!(v.file, file);
+    }
+    let json = report.to_json();
+    for (rule, id, line) in expect {
+        let needle = format!(
+            "{{\"rule\": \"{rule}\", \"id\": \"{id}\", \"file\": \"{file}\", \"line\": {line}, \"message\": "
+        );
+        assert!(json.contains(&needle), "JSON missing {needle}\n{json}");
+    }
+}
+
+fn clean(report: &Report, file: &str) {
+    assert_violations(report, file, &[]);
+}
+
+#[test]
+fn r1_wall_clock() {
+    let src = include_str!("fixtures/r1_violating.rs");
+    let file = "crates/sim/src/fabric.rs";
+    let r = lint_source(file, src);
+    assert_violations(&r, file, &[("R1", "no-wall-clock", 2)]);
+    // The same source is legitimate where host time is allowed.
+    clean(
+        &lint_source("crates/criterion/src/lib.rs", src),
+        "crates/criterion/src/lib.rs",
+    );
+    let file = "crates/sim/src/fabric.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/r1_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn r2_hash_iteration() {
+    let src = include_str!("fixtures/r2_violating.rs");
+    let file = "crates/core/src/trace.rs";
+    let r = lint_source(file, src);
+    assert_violations(&r, file, &[("R2", "no-hash-iteration", 10)]);
+    // Out of R2's scope (not the deterministic core, not a det-named stem).
+    clean(
+        &lint_source("crates/apps/src/store.rs", src),
+        "crates/apps/src/store.rs",
+    );
+    let file = "crates/core/src/trace.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/r2_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn r3_unwrap_in_hot_path() {
+    let src = include_str!("fixtures/r3_violating.rs");
+    let file = "crates/core/src/node_fixture.rs";
+    let r = lint_source(file, src);
+    assert_violations(
+        &r,
+        file,
+        &[
+            ("R3", "no-unwrap-in-hot-path", 2),
+            ("R3", "no-unwrap-in-hot-path", 6),
+            ("R3", "no-unwrap-in-hot-path", 10),
+        ],
+    );
+    // Outside crates/core and crates/sim a panic is someone else's policy.
+    clean(
+        &lint_source("crates/apps/src/lib.rs", src),
+        "crates/apps/src/lib.rs",
+    );
+    // Unwraps inside `#[cfg(test)]` scopes are exempt.
+    let file = "crates/core/src/node_fixture.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/r3_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn r4_calendar_time() {
+    let src = include_str!("fixtures/r4_violating.rs");
+    let file = "crates/core/src/pager.rs";
+    let r = lint_source(file, src);
+    assert_violations(
+        &r,
+        file,
+        &[
+            ("R4", "calendar-time-only", 8),
+            ("R4", "calendar-time-only", 10),
+        ],
+    );
+    clean(
+        &lint_source(file, include_str!("fixtures/r4_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn r5_ambient_rand() {
+    let src = include_str!("fixtures/r5_violating.rs");
+    let file = "crates/apps/src/workload.rs";
+    let r = lint_source(file, src);
+    assert_violations(
+        &r,
+        file,
+        &[("R5", "no-ambient-rand", 2), ("R5", "no-ambient-rand", 6)],
+    );
+    clean(
+        &lint_source(file, include_str!("fixtures/r5_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn suppression_shields_and_ledgers() {
+    let file = "crates/core/src/sweep.rs";
+    let r = lint_source(file, include_str!("fixtures/suppressed.rs"));
+    clean(&r, file);
+    assert_eq!(r.suppressions.len(), 2);
+    let shield = &r.suppressions[0];
+    assert_eq!(
+        (shield.line, shield.id.as_str(), shield.used),
+        (2, "no-unwrap-in-hot-path", true)
+    );
+    let idle = &r.suppressions[1];
+    assert_eq!(
+        (idle.line, idle.id.as_str(), idle.used),
+        (8, "no-wall-clock", false)
+    );
+    assert_eq!(shield.reason, "fixture: head is non-empty by construction");
+}
+
+#[test]
+fn suppression_for_the_wrong_rule_does_not_shield() {
+    let file = "crates/core/src/sweep.rs";
+    let r = lint_source(file, include_str!("fixtures/suppressed_wrong_rule.rs"));
+    assert_violations(&r, file, &[("R3", "no-unwrap-in-hot-path", 3)]);
+    assert_eq!(r.suppressions.len(), 1);
+    assert!(!r.suppressions[0].used);
+}

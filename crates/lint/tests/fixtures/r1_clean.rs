@@ -1,0 +1,5 @@
+pub type Ns = u64;
+
+pub fn stamp(now: Ns) -> Ns {
+    now + 1
+}

@@ -1,0 +1,20 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Store {
+    pages: BTreeMap<u64, u32>,
+    scratch: HashMap<u64, u32>,
+}
+
+impl Store {
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for k in self.pages.keys() {
+            acc ^= *k;
+        }
+        acc
+    }
+
+    pub fn lookup(&self, k: u64) -> Option<u32> {
+        self.scratch.get(&k).copied()
+    }
+}

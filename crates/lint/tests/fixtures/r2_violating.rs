@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub struct Store {
+    pages: HashMap<u64, u32>,
+}
+
+impl Store {
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for k in self.pages.keys() {
+            acc ^= *k;
+        }
+        acc
+    }
+}

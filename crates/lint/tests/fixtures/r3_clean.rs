@@ -1,0 +1,11 @@
+pub fn take(slot: Option<u32>) -> Result<u32, &'static str> {
+    slot.ok_or("empty slot")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::take(Some(3)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,11 @@
+pub fn take(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}
+
+pub fn must(slot: Option<u32>) -> u32 {
+    slot.expect("slot")
+}
+
+pub fn never() -> u32 {
+    panic!("boom")
+}

@@ -1,0 +1,10 @@
+pub struct Sink;
+
+impl Sink {
+    pub fn emit(&self, _t: u64, _what: u32) {}
+}
+
+pub fn log(sink: &Sink, now: u64) {
+    sink.emit(now, 1);
+    sink.emit(now + 3, 2);
+}

@@ -1,0 +1,4 @@
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = dilos_sim::rng::SplitMix64::new(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+pub fn roll() -> u8 {
+    rand::random()
+}
+
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

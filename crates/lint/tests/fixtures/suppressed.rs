@@ -1,0 +1,10 @@
+pub fn pick(v: &[u64]) -> u64 {
+    // dilos-lint: allow(no-unwrap-in-hot-path, "fixture: head is non-empty by construction")
+    let first = v.first().unwrap();
+    *first
+}
+
+pub fn noop() -> u32 {
+    // dilos-lint: allow(no-wall-clock, "fixture: shields nothing")
+    7
+}

@@ -1,0 +1,5 @@
+pub fn pick(v: &[u64]) -> u64 {
+    // dilos-lint: allow(no-wall-clock, "fixture: names the wrong rule")
+    let first = v.first().unwrap();
+    *first
+}

@@ -185,11 +185,11 @@ impl ReedSolomon {
         if present.len() < self.k {
             return Err(EcError::TooFewShards);
         }
-        let len = shards[present[0]].as_ref().expect("present").len();
-        if present
-            .iter()
-            .any(|&i| shards[i].as_ref().expect("present").len() != len)
-        {
+        let mut present_shards = present.iter().filter_map(|&i| shards[i].as_deref());
+        let Some(len) = present_shards.next().map(<[u8]>::len) else {
+            return Err(EcError::TooFewShards);
+        };
+        if present_shards.any(|s| s.len() != len) {
             return Err(EcError::ShardSizeMismatch);
         }
         let missing_data: Vec<usize> = (0..self.k).filter(|&i| shards[i].is_none()).collect();
@@ -208,7 +208,10 @@ impl ReedSolomon {
                         matrix[r][i] = self.coeff(row - self.k, i);
                     }
                 }
-                rhs.push(shards[row].as_ref().expect("present"));
+                let Some(s) = shards[row].as_deref() else {
+                    return Err(EcError::TooFewShards);
+                };
+                rhs.push(s);
             }
             let inverse = self.invert(matrix)?;
             // data_i = Σ_r inverse[i][r] · rhs[r].
@@ -232,9 +235,15 @@ impl ReedSolomon {
         }
         // Recompute any missing parity from the (now complete) data.
         if (self.k..self.k + self.m).any(|i| shards[i].is_none()) {
-            let data: Vec<&[u8]> = (0..self.k)
-                .map(|i| shards[i].as_ref().expect("reconstructed").as_slice())
+            // Every data shard is `Some` after the rebuild above; collect
+            // fallibly all the same so a logic slip surfaces as an error.
+            let data: Vec<&[u8]> = shards[..self.k]
+                .iter()
+                .filter_map(|s| s.as_deref())
                 .collect();
+            if data.len() < self.k {
+                return Err(EcError::TooFewShards);
+            }
             let parity = self.encode(&data);
             for (j, p) in parity.into_iter().enumerate() {
                 if shards[self.k + j].is_none() {

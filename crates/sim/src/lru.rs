@@ -4,10 +4,13 @@
 //! their resident pages/chunks — DiLOS's page manager "inserts all newly
 //! allocated pages into an LRU list" (§4.4), Linux keeps its two-list LRU,
 //! and AIFM's evacuator tracks hot objects. [`LruChain`] is that list:
-//! constant-time touch/insert/remove via an intrusive doubly-linked chain
-//! stored in a hash map, with tail-first iteration for victim selection.
+//! O(log n) touch/insert/remove via an intrusive doubly-linked chain
+//! stored in an ordered map, with tail-first iteration for victim
+//! selection. The map is a `BTreeMap` rather than a `HashMap` so that no
+//! future change can leak allocator/seed-dependent hash order into victim
+//! selection or the trace — recency order lives in the chain itself.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Copy)]
 struct Links {
@@ -18,7 +21,7 @@ struct Links {
 /// An exact LRU chain: head = most recently used, tail = least.
 #[derive(Debug, Default)]
 pub struct LruChain {
-    links: HashMap<u64, Links>,
+    links: BTreeMap<u64, Links>,
     head: Option<u64>,
     tail: Option<u64>,
 }
@@ -44,17 +47,18 @@ impl LruChain {
         self.links.contains_key(&key)
     }
 
-    fn unlink(&mut self, key: u64) -> Links {
-        let l = self.links[&key];
-        match l.prev {
-            Some(p) => self.links.get_mut(&p).expect("chain consistent").next = l.next,
+    fn unlink(&mut self, key: u64) {
+        let Some(&l) = self.links.get(&key) else {
+            return;
+        };
+        match l.prev.and_then(|p| self.links.get_mut(&p)) {
+            Some(p) => p.next = l.next,
             None => self.head = l.next,
         }
-        match l.next {
-            Some(n) => self.links.get_mut(&n).expect("chain consistent").prev = l.prev,
+        match l.next.and_then(|n| self.links.get_mut(&n)) {
+            Some(n) => n.prev = l.prev,
             None => self.tail = l.prev,
         }
-        l
     }
 
     fn push_head(&mut self, key: u64) {
@@ -66,8 +70,8 @@ impl LruChain {
                 next: old,
             },
         );
-        if let Some(o) = old {
-            self.links.get_mut(&o).expect("chain consistent").prev = Some(key);
+        if let Some(o) = old.and_then(|o| self.links.get_mut(&o)) {
+            o.prev = Some(key);
         }
         self.head = Some(key);
         if self.tail.is_none() {
@@ -131,7 +135,7 @@ impl Iterator for IterCold<'_> {
 
     fn next(&mut self) -> Option<u64> {
         let k = self.cur?;
-        self.cur = self.chain.links[&k].prev;
+        self.cur = self.chain.links.get(&k).and_then(|l| l.prev);
         Some(k)
     }
 }

@@ -12,7 +12,7 @@
 //! zeros, exactly like freshly-registered (zeroed) host memory.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::time::{Ns, PAGE_SIZE};
 use crate::trace::{TraceEvent, TraceSink};
@@ -50,8 +50,10 @@ impl std::error::Error for MemNodeError {}
 /// The memory node's registered memory pool.
 #[derive(Debug, Default)]
 pub struct MemoryNode {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
-    regions: HashMap<u32, Region>,
+    // Ordered maps: repair/enumeration paths walk these, and walk order
+    // feeds the trace — hash order must never leak into it.
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+    regions: BTreeMap<u32, Region>,
     next_key: u32,
     huge_pages: bool,
     trace: TraceSink,
@@ -178,11 +180,10 @@ impl MemoryNode {
     ///
     /// Control-path enumeration for node repair: the endpoint walks the
     /// survivors' resident sets to decide which pages a returning node must
-    /// resynchronize. Sorted so the repair order is deterministic.
+    /// resynchronize. The backing map is ordered, so the repair order is
+    /// deterministic by construction.
     pub fn resident_page_numbers(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.pages.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.pages.keys().copied().collect()
     }
 
     /// Control-path snapshot of one materialized page (no rkey check, no

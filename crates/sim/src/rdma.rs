@@ -16,7 +16,7 @@
 //! The optional TCP mode adds the paper's 14,000-cycle handicap per
 //! completion (§6.2) for the AIFM-comparable configuration.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::config::SimConfig;
 use crate::ec::ReedSolomon;
@@ -118,7 +118,9 @@ pub struct RdmaEndpoint {
     ec: Option<EcState>,
     /// Degraded reads served by erasure-decode.
     reconstructions: u64,
-    qps: HashMap<(usize, usize, usize), Timeline>,
+    // Ordered so that no future drain/enumeration over queue pairs can
+    // leak hash order into verb completion times.
+    qps: BTreeMap<(usize, usize, usize), Timeline>,
     ops: [OpCounts; 5],
     /// Ablation: collapse all per-core, per-module queues into one QP.
     shared_queue: bool,
@@ -190,7 +192,7 @@ impl RdmaEndpoint {
             replication: 1,
             ec: None,
             reconstructions: 0,
-            qps: HashMap::new(),
+            qps: BTreeMap::new(),
             ops: [OpCounts::default(); 5],
             shared_queue: false,
             tcp_mode: false,
@@ -397,7 +399,7 @@ impl RdmaEndpoint {
     /// is rebuilt from the `k + m − 1` surviving shards.
     fn ec_resync(&mut self, i: usize) {
         let (ec_k, ec_m, parity_base) = {
-            let ec = self.ec.as_ref().expect("ec mode");
+            let ec = self.ec_state();
             (ec.rs.k(), ec.rs.m(), ec.parity_base)
         };
         let parity_page0 = parity_base >> 12;
@@ -439,17 +441,15 @@ impl RdmaEndpoint {
                 })
                 .collect();
             let Some((slot, page)) = mine else { continue };
-            let ok = {
-                let ec = self.ec.as_ref().expect("ec mode");
-                ec.rs.reconstruct(&mut shards).is_ok()
-            };
-            if !ok {
+            if self.ec_state().rs.reconstruct(&mut shards).is_err() {
                 continue;
             }
-            let data: &[u8; PAGE_SIZE] = shards[slot]
+            let Some(data) = shards[slot]
                 .as_deref()
-                .and_then(|s| s.try_into().ok())
-                .expect("reconstructed shard is one page");
+                .and_then(|s| <&[u8; PAGE_SIZE]>::try_from(s).ok())
+            else {
+                continue;
+            };
             self.nodes[i].node.install_page(page, data);
         }
     }
@@ -670,9 +670,19 @@ impl RdmaEndpoint {
     // Erasure-coded data path (Carbink-style, §5.1/§7).
     // ------------------------------------------------------------------
 
+    /// The erasure-coding state. Every `ec_*` data-path function is only
+    /// dispatched when [`connect_ec`](Self::connect_ec) configured EC mode;
+    /// reaching one without it is a mode-dispatch bug in `read`/`write`,
+    /// and a deterministic panic here beats silently mis-routing a verb.
+    #[allow(clippy::expect_used)]
+    fn ec_state(&self) -> &EcState {
+        // dilos-lint: allow(no-unwrap-in-hot-path, "mode invariant: ec_* is only entered from EC dispatch in connect_ec endpoints")
+        self.ec.as_ref().expect("ec mode")
+    }
+
     /// `(group, lane)` of the data page holding `addr`.
     fn ec_span(&self, addr: u64) -> (u64, usize) {
-        let k = self.ec.as_ref().expect("ec mode").rs.k() as u64;
+        let k = self.ec_state().rs.k() as u64;
         let page = addr >> 12;
         ((page / k), (page % k) as usize)
     }
@@ -684,7 +694,7 @@ impl RdmaEndpoint {
 
     /// `(node, shard_base_addr)` of parity shard `j` of `group`.
     fn ec_parity_loc(&self, group: u64, j: usize) -> (usize, u64) {
-        let ec = self.ec.as_ref().expect("ec mode");
+        let ec = self.ec_state();
         let k = ec.rs.k();
         let m = ec.rs.m() as u64;
         let node = ((group as usize) + k + j) % self.nodes.len();
@@ -725,7 +735,7 @@ impl RdmaEndpoint {
         }
         // Parity deltas, one write per live parity node.
         let delta: Vec<u8> = old.iter().zip(data).map(|(o, n)| o ^ n).collect();
-        let m = self.ec.as_ref().expect("ec mode").rs.m();
+        let m = self.ec_state().rs.m();
         let in_page = addr & 0xFFF;
         for j in 0..m {
             let (pn, pbase) = self.ec_parity_loc(group, j);
@@ -736,11 +746,7 @@ impl RdmaEndpoint {
             let mut parity = vec![0u8; delta.len()];
             let pregion = self.nodes[pn].region;
             self.nodes[pn].node.read(pregion, paddr, &mut parity)?;
-            self.ec
-                .as_ref()
-                .expect("ec mode")
-                .rs
-                .apply_delta(j, lane, &delta, &mut parity);
+            self.ec_state().rs.apply_delta(j, lane, &delta, &mut parity);
             self.nodes[pn].node.write(pregion, paddr, &parity)?;
             let d = self.verb_timing(pn, read_done, core, class, delta.len(), 1, false);
             done = done.max(d);
@@ -778,13 +784,10 @@ impl RdmaEndpoint {
         }
         self.failovers += 1;
         self.reconstructions += 1;
-        let ec_k;
-        let ec_m;
-        {
-            let rs = &self.ec.as_ref().expect("ec mode").rs;
-            ec_k = rs.k();
-            ec_m = rs.m();
-        }
+        let (ec_k, ec_m) = {
+            let rs = &self.ec_state().rs;
+            (rs.k(), rs.m())
+        };
         let in_page = addr & 0xFFF;
         let len = buf.len();
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; ec_k + ec_m];
@@ -826,13 +829,12 @@ impl RdmaEndpoint {
         if fetched < ec_k {
             return Err(RdmaError::AllReplicasDown);
         }
-        {
-            let ec = self.ec.as_ref().expect("ec mode");
-            ec.rs
-                .reconstruct(&mut shards)
-                .map_err(|_| RdmaError::AllReplicasDown)?;
-        }
-        buf.copy_from_slice(shards[lane].as_ref().expect("reconstructed"));
+        self.ec_state()
+            .rs
+            .reconstruct(&mut shards)
+            .map_err(|_| RdmaError::AllReplicasDown)?;
+        let shard = shards[lane].as_deref().ok_or(RdmaError::AllReplicasDown)?;
+        buf.copy_from_slice(shard);
         // Decode cost: a GF multiply-accumulate per byte per source shard.
         let decode_ns = (len * ec_k) as Ns / 2;
         Ok(done + decode_ns)

@@ -163,12 +163,10 @@ impl Calendar {
     pub fn pop_due(&self, now: Ns) -> Option<(Ns, SchedEvent)> {
         let mut c = self.inner.borrow_mut();
         c.skim();
-        match c.heap.peek() {
-            Some(e) if e.at <= now => {
-                let e = c.heap.pop().expect("peeked");
-                Some((e.at, e.ev))
-            }
-            _ => None,
+        if c.heap.peek().is_some_and(|e| e.at <= now) {
+            c.heap.pop().map(|e| (e.at, e.ev))
+        } else {
+            None
         }
     }
 
