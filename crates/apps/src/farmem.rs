@@ -7,7 +7,7 @@
 
 use dilos_baselines::{Aifm, AifmConfig, Fastswap, FastswapConfig};
 use dilos_core::{Dilos, DilosConfig, NoPrefetch, Readahead, TrendBased};
-use dilos_sim::Ns;
+use dilos_sim::{MetricsRegistry, Ns, SpanProfiler};
 
 /// Byte-addressable far memory with virtual-time accounting.
 pub trait FarMemory {
@@ -66,6 +66,34 @@ pub trait FarMemory {
     /// when the system does not support auditing or it is off). Quiesces
     /// pending background work first, like [`FarMemory::trace_digest`].
     fn audit_report(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Handle to the system's metrics registry. Disabled (and empty) unless
+    /// the system was booted with [`SystemSpec::metrics`].
+    fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::disabled()
+    }
+
+    /// Handle to the system's span profiler. Disabled unless the system was
+    /// booted with [`SystemSpec::metrics`].
+    fn profiler(&self) -> SpanProfiler {
+        SpanProfiler::disabled()
+    }
+
+    /// `(major, minor, zero_fill)` fault counts *as the event trace records
+    /// them*, for cross-checking trace-derived profiler counts against the
+    /// hand-maintained stats. AIFM only traces misses as major faults, so it
+    /// reports `(misses, 0, 0)` here even though [`FarMemory::fault_counts`]
+    /// exposes in-flight waits.
+    fn fault_counters(&self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
+
+    /// Hand-maintained per-phase fault-latency sums `(label, ns)`, using the
+    /// same labels as the span profiler's phases. Empty for systems that do
+    /// not keep a phase breakdown.
+    fn phase_sums(&self) -> Vec<(&'static str, Ns)> {
         Vec::new()
     }
 
@@ -163,6 +191,19 @@ impl FarMemory for Dilos {
     fn audit_report(&mut self) -> Vec<String> {
         Dilos::audit_report(self)
     }
+    fn metrics(&self) -> MetricsRegistry {
+        Dilos::metrics(self).clone()
+    }
+    fn profiler(&self) -> SpanProfiler {
+        Dilos::profiler(self).clone()
+    }
+    fn fault_counters(&self) -> (u64, u64, u64) {
+        let s = self.stats();
+        (s.major_faults, s.minor_faults, s.zero_fills)
+    }
+    fn phase_sums(&self) -> Vec<(&'static str, Ns)> {
+        self.stats().breakdown.sums().to_vec()
+    }
 }
 
 impl FarMemory for Fastswap {
@@ -204,6 +245,16 @@ impl FarMemory for Fastswap {
     fn trace_digest(&mut self) -> u64 {
         Fastswap::trace_digest(self)
     }
+    fn metrics(&self) -> MetricsRegistry {
+        Fastswap::metrics(self).clone()
+    }
+    fn profiler(&self) -> SpanProfiler {
+        Fastswap::profiler(self).clone()
+    }
+    fn fault_counters(&self) -> (u64, u64, u64) {
+        let s = self.stats();
+        (s.major_faults, s.minor_faults, s.zero_fills)
+    }
 }
 
 impl FarMemory for Aifm {
@@ -244,6 +295,17 @@ impl FarMemory for Aifm {
     }
     fn trace_digest(&mut self) -> u64 {
         Aifm::trace_digest(self)
+    }
+    fn metrics(&self) -> MetricsRegistry {
+        Aifm::metrics(self).clone()
+    }
+    fn profiler(&self) -> SpanProfiler {
+        Aifm::profiler(self).clone()
+    }
+    fn fault_counters(&self) -> (u64, u64, u64) {
+        // AIFM's trace only marks demand misses as faults; in-flight waits
+        // are spin-waits without a fault span.
+        (self.stats().misses, 0, 0)
     }
 }
 
@@ -305,6 +367,9 @@ pub struct SystemSpec {
     /// Attach the invariant auditor (DiLOS only; implies `trace`); collect
     /// findings via [`FarMemory::audit_report`].
     pub audit: bool,
+    /// Record metrics and profiler spans (implies `trace`); read them via
+    /// [`FarMemory::metrics`] and [`FarMemory::profiler`].
+    pub metrics: bool,
 }
 
 impl SystemSpec {
@@ -321,6 +386,7 @@ impl SystemSpec {
             cores: 1,
             trace: false,
             audit: false,
+            metrics: false,
         }
     }
 
@@ -337,6 +403,12 @@ impl SystemSpec {
         self
     }
 
+    /// Enables the metrics registry and span profiler on the booted system.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
     /// Boots the system.
     pub fn boot(&self) -> Box<dyn FarMemory> {
         match self.kind {
@@ -345,6 +417,7 @@ impl SystemSpec {
                 remote_bytes: self.remote_bytes,
                 cores: self.cores,
                 trace: self.trace,
+                metrics: self.metrics,
                 ..FastswapConfig::default()
             })),
             SystemKind::Aifm => Box::new(Aifm::new(AifmConfig {
@@ -352,6 +425,7 @@ impl SystemSpec {
                 remote_bytes: self.remote_bytes,
                 cores: self.cores,
                 trace: self.trace,
+                metrics: self.metrics,
                 ..AifmConfig::default()
             })),
             kind => {
@@ -362,6 +436,7 @@ impl SystemSpec {
                     tcp_mode: kind == SystemKind::DilosTcp,
                     trace: self.trace,
                     audit: self.audit,
+                    metrics: self.metrics,
                     ..DilosConfig::default()
                 });
                 match kind {

@@ -21,8 +21,8 @@
 use std::collections::BTreeMap;
 
 use dilos_sim::{
-    Calendar, CoreClock, EventId, FaultKind, Ns, RdmaEndpoint, SchedEvent, ServiceClass, SimConfig,
-    TraceEvent, TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, EventId, FaultKind, MetricsRegistry, Ns, RdmaEndpoint, SchedEvent,
+    ServiceClass, SimConfig, SpanProfiler, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 /// AIFM runtime costs, in virtual nanoseconds.
@@ -67,6 +67,10 @@ pub struct AifmConfig {
     /// Record a structured event trace (see [`Aifm::trace`] /
     /// [`Aifm::trace_digest`]).
     pub trace: bool,
+    /// Record telemetry (implies `trace`): counters/gauges in a
+    /// [`MetricsRegistry`] and folded spans in a [`SpanProfiler`]. Pure
+    /// observation — trace digests are identical with this on or off.
+    pub metrics: bool,
 }
 
 impl Default for AifmConfig {
@@ -80,6 +84,7 @@ impl Default for AifmConfig {
             prefetch_depth: 16,
             tcp: true,
             trace: false,
+            metrics: false,
         }
     }
 }
@@ -142,6 +147,10 @@ pub struct Aifm {
     pending_land: BTreeMap<u64, EventId>,
     /// Structured event trace (dark unless `cfg.trace`).
     trace: TraceSink,
+    /// Telemetry registry (dark unless `cfg.metrics`).
+    metrics: MetricsRegistry,
+    /// Span profiler attached to the trace (dark unless `cfg.metrics`).
+    profiler: SpanProfiler,
 }
 
 impl std::fmt::Debug for Aifm {
@@ -164,17 +173,27 @@ impl Aifm {
         assert!(cfg.local_chunks >= 16, "cache too small");
         let mut rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
         rdma.set_tcp_mode(cfg.tcp);
-        let trace = if cfg.trace {
+        let trace = if cfg.trace || cfg.metrics {
             TraceSink::recording()
         } else {
             TraceSink::disabled()
         };
         rdma.set_trace(trace.clone());
+        let (metrics, profiler) = if cfg.metrics {
+            (MetricsRegistry::recording(), SpanProfiler::recording())
+        } else {
+            (MetricsRegistry::disabled(), SpanProfiler::disabled())
+        };
+        profiler.attach_to(&trace);
+        rdma.set_metrics(metrics.clone());
         let cal = Calendar::new();
+        cal.set_metrics(metrics.clone());
         rdma.set_calendar(cal.clone());
         Self {
             rdma,
             trace,
+            metrics,
+            profiler,
             cal,
             pending_land: BTreeMap::new(),
             chunks: BTreeMap::new(),
@@ -206,6 +225,16 @@ impl Aifm {
         &self.trace
     }
 
+    /// The telemetry registry (dark unless [`AifmConfig::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span profiler (dark unless [`AifmConfig::metrics`]).
+    pub fn profiler(&self) -> &SpanProfiler {
+        &self.profiler
+    }
+
     /// Order-sensitive digest over every traced event (0 when tracing is
     /// off). Identical seeds and configurations must produce identical
     /// digests.
@@ -217,6 +246,10 @@ impl Aifm {
         while let Some((t, ev)) = self.cal.pop_next() {
             self.dispatch(t, ev);
         }
+        let horizon = self.max_now();
+        while let Some(t) = self.metrics.next_sample_due(horizon) {
+            self.record_gauges(t);
+        }
         self.trace.digest()
     }
 
@@ -225,6 +258,24 @@ impl Aifm {
         while let Some((t, ev)) = self.cal.pop_due(now) {
             self.dispatch(t, ev);
         }
+        // Telemetry rides the registry's private calendar, never this one.
+        while let Some(t) = self.metrics.next_sample_due(now) {
+            self.record_gauges(t);
+        }
+    }
+
+    /// Snapshots every sampled gauge at virtual time `t`.
+    fn record_gauges(&mut self, t: Ns) {
+        self.metrics
+            .set_gauge("local_chunks", self.local_count as u64);
+        self.metrics.set_gauge("lru_chunks", self.lru.len() as u64);
+        self.metrics
+            .set_gauge("pending_land", self.pending_land.len() as u64);
+        self.metrics
+            .set_gauge("busy_qps", self.rdma.busy_qps(t) as u64);
+        self.metrics
+            .set_gauge("link_busy_ns", self.rdma.fabric().link_busy());
+        self.metrics.record_sample(t);
     }
 
     /// Delivers one calendar event at its scheduled time.
@@ -244,6 +295,9 @@ impl Aifm {
                 node,
                 core,
             } => self.rdma.deliver_completion(t, class, write, node, core),
+            // Sample ticks never ride the main calendar (the registry owns
+            // its own — see `drain_events`).
+            SchedEvent::SampleTick => self.record_gauges(t),
             _ => {}
         }
     }

@@ -17,8 +17,8 @@
 use std::collections::BTreeMap;
 
 use dilos_sim::{
-    Calendar, CoreClock, FaultKind, LruChain, Ns, RdmaEndpoint, SchedEvent, ServiceClass,
-    SimConfig, Timeline, TraceEvent, TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, FaultKind, LruChain, MetricsRegistry, Ns, RdmaEndpoint, SchedEvent,
+    ServiceClass, SimConfig, SpanProfiler, Timeline, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 /// Fastswap software costs, in virtual nanoseconds.
@@ -85,6 +85,10 @@ pub struct FastswapConfig {
     /// Record a structured event trace (see [`Fastswap::trace`] /
     /// [`Fastswap::trace_digest`]).
     pub trace: bool,
+    /// Record telemetry (implies `trace`): counters/gauges in a
+    /// [`MetricsRegistry`] and folded spans in a [`SpanProfiler`]. Pure
+    /// observation — trace digests are identical with this on or off.
+    pub metrics: bool,
 }
 
 impl Default for FastswapConfig {
@@ -97,6 +101,7 @@ impl Default for FastswapConfig {
             costs: FastswapCosts::default(),
             readahead_cluster: 8,
             trace: false,
+            metrics: false,
         }
     }
 }
@@ -209,6 +214,10 @@ pub struct Fastswap {
     brk: u64,
     /// Structured event trace (dark unless `cfg.trace`).
     trace: TraceSink,
+    /// Telemetry registry (dark unless `cfg.metrics`).
+    metrics: MetricsRegistry,
+    /// Span profiler attached to the trace (dark unless `cfg.metrics`).
+    profiler: SpanProfiler,
 }
 
 impl std::fmt::Debug for Fastswap {
@@ -232,17 +241,29 @@ impl Fastswap {
         assert!(cfg.cores > 0, "at least one core");
         assert!(cfg.local_pages >= 16, "cache too small for the cluster");
         let mut rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
-        let trace = if cfg.trace {
+        let trace = if cfg.trace || cfg.metrics {
             TraceSink::recording()
         } else {
             TraceSink::disabled()
         };
         rdma.set_trace(trace.clone());
+        let (metrics, profiler) = if cfg.metrics {
+            (MetricsRegistry::recording(), SpanProfiler::recording())
+        } else {
+            (MetricsRegistry::disabled(), SpanProfiler::disabled())
+        };
+        profiler.attach_to(&trace);
+        rdma.set_metrics(metrics.clone());
         let cal = Calendar::new();
+        cal.set_metrics(metrics.clone());
         rdma.set_calendar(cal.clone());
+        let mut lru = LruChain::new();
+        lru.set_metrics(metrics.clone());
         Self {
             rdma,
             trace,
+            metrics,
+            profiler,
             cal,
             state: BTreeMap::new(),
             frames: (0..cfg.local_pages)
@@ -250,7 +271,7 @@ impl Fastswap {
                 .collect(),
             free: (0..cfg.local_pages as u32).rev().collect(),
             pending_free: Vec::new(),
-            lru: LruChain::new(),
+            lru,
             clocks: vec![CoreClock::new(); cfg.cores],
             offload: Timeline::new(),
             reclaim_round: 0,
@@ -275,6 +296,16 @@ impl Fastswap {
         &self.trace
     }
 
+    /// The telemetry registry (dark unless [`FastswapConfig::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span profiler (dark unless [`FastswapConfig::metrics`]).
+    pub fn profiler(&self) -> &SpanProfiler {
+        &self.profiler
+    }
+
     /// Order-sensitive digest over every traced event (0 when tracing is
     /// off). Identical seeds and configurations must produce identical
     /// digests.
@@ -286,6 +317,10 @@ impl Fastswap {
         while let Some((t, ev)) = self.cal.pop_next() {
             self.dispatch(t, ev);
         }
+        let horizon = self.max_now();
+        while let Some(t) = self.metrics.next_sample_due(horizon) {
+            self.record_gauges(t);
+        }
         self.trace.digest()
     }
 
@@ -294,6 +329,25 @@ impl Fastswap {
         while let Some((t, ev)) = self.cal.pop_due(now) {
             self.dispatch(t, ev);
         }
+        // Telemetry rides the registry's private calendar so it cannot
+        // perturb `get_frame`'s `next_due`-driven spin loop.
+        while let Some(t) = self.metrics.next_sample_due(now) {
+            self.record_gauges(t);
+        }
+    }
+
+    /// Snapshots every sampled gauge at virtual time `t`.
+    fn record_gauges(&mut self, t: Ns) {
+        self.metrics
+            .set_gauge("free_frames", self.free.len() as u64);
+        self.metrics.set_gauge("lru_pages", self.lru.len() as u64);
+        self.metrics
+            .set_gauge("pending_writebacks", self.pending_free.len() as u64);
+        self.metrics
+            .set_gauge("busy_qps", self.rdma.busy_qps(t) as u64);
+        self.metrics
+            .set_gauge("link_busy_ns", self.rdma.fabric().link_busy());
+        self.metrics.record_sample(t);
     }
 
     /// Delivers one calendar event at its scheduled time.
@@ -311,6 +365,9 @@ impl Fastswap {
                 node,
                 core,
             } => self.rdma.deliver_completion(t, class, write, node, core),
+            // Sample ticks never ride the main calendar (the registry owns
+            // its own — see `drain_events`).
+            SchedEvent::SampleTick => self.record_gauges(t),
             _ => {}
         }
     }

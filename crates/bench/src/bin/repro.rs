@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--full] [--only <id>...] [--out <dir>]
+//! repro [--full] [--only <id>...] [--out <dir>] [--metrics]
 //! ```
 //!
 //! Ids: fig01 fig02 fig06 tab01 tab02 tab03 fig07a fig07b fig07cd fig08
@@ -12,7 +12,9 @@
 //! number of ids. Default writes reports to `results/` and prints them;
 //! `--full` runs larger (slower) configurations. Alongside the per-id
 //! markdown, a machine-readable `bench.json` maps each experiment id that
-//! ran to its measured rows, notes, and trace digests.
+//! ran to its measured rows, notes, and trace digests. `--metrics` also
+//! runs the metered tab01 systems and writes `metrics.json`,
+//! `timeseries.json`, and `profile.folded` to the output directory.
 
 use std::io::Write as _;
 
@@ -30,6 +32,7 @@ use dilos_bench::Report;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let metrics = args.iter().any(|a| a == "--metrics");
     // `--only` takes every following token up to the next flag. `tab03` is
     // an alias for `tab01` (one run produces both tables).
     let only: Option<Vec<String>> = args.iter().position(|a| a == "--only").map(|i| {
@@ -159,4 +162,14 @@ fn main() {
     let json = format!("{{\n{}\n}}\n", json_entries.join(",\n"));
     std::fs::write(format!("{out_dir}/bench.json"), json).expect("write bench.json");
     eprintln!("[repro] reports written to {out_dir}/ (machine-readable: {out_dir}/bench.json)");
+    if metrics {
+        eprintln!("[repro] running metered telemetry pass …");
+        let report =
+            dilos_bench::telemetry::write_artifacts(micro, &out_dir).expect("write telemetry");
+        println!("{}", report.render());
+        eprintln!(
+            "[repro] telemetry written to {out_dir}/metrics.json, {out_dir}/timeseries.json, \
+             {out_dir}/profile.folded"
+        );
+    }
 }

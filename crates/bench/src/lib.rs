@@ -11,5 +11,6 @@ pub mod apps_exp;
 pub mod micro;
 pub mod redis_exp;
 pub mod table;
+pub mod telemetry;
 
 pub use table::Report;

@@ -25,8 +25,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dilos_sim::{
-    Calendar, CoreClock, EventId, FaultKind, FaultPhase, Ns, PteClass, RdmaEndpoint, SchedEvent,
-    Segment, ServiceClass, SimConfig, TraceEvent, TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, EventId, FaultKind, FaultPhase, MetricsRegistry, Ns, PteClass,
+    RdmaEndpoint, SchedEvent, Segment, ServiceClass, SimConfig, SpanProfiler, TraceEvent,
+    TraceSink, PAGE_SIZE,
 };
 
 use crate::audit::Auditor;
@@ -134,6 +135,11 @@ pub struct DilosConfig {
     /// Attach the online invariant [`Auditor`] to the trace (implies
     /// `trace`); collect findings via [`Dilos::audit_report`].
     pub audit: bool,
+    /// Record telemetry (implies `trace`): component counters and sampled
+    /// gauges in a [`MetricsRegistry`], and a [`SpanProfiler`] folding the
+    /// trace into flamegraph stacks. Pure observation — trace digests are
+    /// identical with this on or off.
+    pub metrics: bool,
 }
 
 impl Default for DilosConfig {
@@ -154,6 +160,7 @@ impl Default for DilosConfig {
             erasure: None,
             trace: false,
             audit: false,
+            metrics: false,
         }
     }
 }
@@ -233,6 +240,11 @@ pub struct Dilos {
     trace: TraceSink,
     /// Online invariant checker attached to the trace.
     audit: Option<Rc<RefCell<Auditor>>>,
+    /// Telemetry registry shared with the scheduler, RDMA endpoint, memory
+    /// nodes, fabric, and LRU (dark unless `cfg.metrics`).
+    metrics: MetricsRegistry,
+    /// Span profiler attached to the trace (dark unless `cfg.metrics`).
+    profiler: SpanProfiler,
 }
 
 impl std::fmt::Debug for Dilos {
@@ -270,7 +282,7 @@ impl Dilos {
         };
         rdma.set_shared_queue(cfg.shared_queue);
         rdma.set_tcp_mode(cfg.tcp_mode);
-        let trace = if cfg.trace || cfg.audit {
+        let trace = if cfg.trace || cfg.audit || cfg.metrics {
             TraceSink::recording()
         } else {
             TraceSink::disabled()
@@ -283,6 +295,15 @@ impl Dilos {
         } else {
             None
         };
+        let (metrics, profiler) = if cfg.metrics {
+            (MetricsRegistry::recording(), SpanProfiler::recording())
+        } else {
+            (MetricsRegistry::disabled(), SpanProfiler::disabled())
+        };
+        profiler.attach_to(&trace);
+        rdma.set_metrics(metrics.clone());
+        let mut lru = dilos_sim::LruChain::new();
+        lru.set_metrics(metrics.clone());
         let mut frames = FrameArena::new(cfg.local_pages);
         frames.set_trace(trace.clone());
         let wm = Watermarks::for_cache(cfg.local_pages);
@@ -290,6 +311,7 @@ impl Dilos {
         // completions onto it, and the node delivers them (plus landings,
         // reclaim ticks, and writebacks) whenever virtual time passes them.
         let cal = Calendar::new();
+        cal.set_metrics(metrics.clone());
         rdma.set_calendar(cal.clone());
         Self {
             frames,
@@ -312,7 +334,7 @@ impl Dilos {
             tick_pending: false,
             episode_freed: 0,
             pending_clean: 0,
-            lru: dilos_sim::LruChain::new(),
+            lru,
             stats: DilosStats::default(),
             ddc_brk: DDC_BASE,
             local_pages_map: std::collections::HashMap::new(),
@@ -323,6 +345,8 @@ impl Dilos {
             evict_log: None,
             trace,
             audit,
+            metrics,
+            profiler,
         }
     }
 
@@ -386,6 +410,18 @@ impl Dilos {
         &self.trace
     }
 
+    /// The telemetry registry (disabled unless booted with
+    /// `DilosConfig::metrics`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span profiler (disabled unless booted with
+    /// `DilosConfig::metrics`).
+    pub fn profiler(&self) -> &SpanProfiler {
+        &self.profiler
+    }
+
     /// Order-sensitive digest over every traced event so far (0 when
     /// tracing is off). Two runs of the same seed and configuration must
     /// produce the same digest.
@@ -406,6 +442,10 @@ impl Dilos {
     pub fn quiesce(&mut self) {
         while let Some((t, ev)) = self.cal.pop_next() {
             self.dispatch(t, ev);
+        }
+        let horizon = self.max_now();
+        while let Some(t) = self.metrics.next_sample_due(horizon) {
+            self.record_gauges(t);
         }
     }
 
@@ -1334,6 +1374,32 @@ impl Dilos {
         while let Some((t, ev)) = self.cal.pop_due(now) {
             self.dispatch(t, ev);
         }
+        // Telemetry rides its own calendar (see `SchedEvent::SampleTick`):
+        // gauge snapshots are taken here, at the node's existing drain
+        // points, so enabling them cannot perturb the main calendar.
+        while let Some(t) = self.metrics.next_sample_due(now) {
+            self.record_gauges(t);
+        }
+    }
+
+    /// Snapshots every sampled gauge at virtual time `t`.
+    fn record_gauges(&mut self, t: Ns) {
+        self.metrics
+            .set_gauge("free_frames", self.frames.free_count() as u64);
+        self.metrics.set_gauge("lru_pages", self.lru.len() as u64);
+        self.metrics.set_gauge(
+            "inflight_fetches",
+            self.inflight.iter().flatten().count() as u64,
+        );
+        self.metrics
+            .set_gauge("pending_clean", self.pending_clean as u64);
+        self.metrics
+            .set_gauge("resident_pages", self.pt.resident() as u64);
+        self.metrics
+            .set_gauge("busy_qps", self.rdma.busy_qps(t) as u64);
+        self.metrics
+            .set_gauge("link_busy_ns", self.rdma.fabric().link_busy());
+        self.metrics.record_sample(t);
     }
 
     /// Delivers one calendar event at its scheduled time `t`.
@@ -1352,6 +1418,9 @@ impl Dilos {
                 core,
             } => self.rdma.deliver_completion(t, class, write, node, core),
             SchedEvent::NodeRepair { node } => self.rdma.repair_node(node),
+            // Sample ticks never ride the main calendar (the registry owns
+            // its own — see `drain_events`), but the match must be total.
+            SchedEvent::SampleTick => self.record_gauges(t),
         }
     }
 

@@ -35,6 +35,20 @@ impl FaultBreakdown {
             / self.count
     }
 
+    /// Per-phase raw sums `(label, ns)` in plot order. The labels match the
+    /// span profiler's phase names, so trace-derived phase totals can be
+    /// cross-checked against these hand-maintained counters directly.
+    pub fn sums(&self) -> [(&'static str, Ns); 6] {
+        [
+            ("exception", self.exception),
+            ("check", self.check),
+            ("alloc", self.alloc_wait),
+            ("fetch", self.fetch),
+            ("map", self.map),
+            ("reclaim", self.reclaim),
+        ]
+    }
+
     /// Per-phase averages `(label, ns)` in plot order.
     pub fn avg_phases(&self) -> [(&'static str, Ns); 6] {
         let d = self.count.max(1);

@@ -130,6 +130,33 @@ fn r5_ambient_rand() {
     );
 }
 
+/// A metrics-registry shaped snippet: snapshotting counters by iterating a
+/// `HashMap` and stamping the snapshot with host time is exactly the
+/// telemetry code R1 and R2 exist to keep out of the deterministic core.
+#[test]
+fn metrics_shaped_code_trips_r1_and_r2_in_the_core() {
+    let src = include_str!("fixtures/metrics_violating.rs");
+    let file = "crates/sim/src/metrics.rs";
+    let r = lint_source(file, src);
+    assert_violations(
+        &r,
+        file,
+        &[("R1", "no-wall-clock", 9), ("R2", "no-hash-iteration", 11)],
+    );
+    // The same snippet is out of both rules' scope in the bench harness,
+    // where host time and unordered maps are someone else's policy.
+    clean(
+        &lint_source("crates/bench/src/telemetry.rs", src),
+        "crates/bench/src/telemetry.rs",
+    );
+    // The BTreeMap + virtual-timestamp version is clean even in the core.
+    let file = "crates/sim/src/metrics.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/metrics_clean.rs")),
+        file,
+    );
+}
+
 #[test]
 fn suppression_shields_and_ledgers() {
     let file = "crates/core/src/sweep.rs";

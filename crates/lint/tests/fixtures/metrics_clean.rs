@@ -1,0 +1,15 @@
+use std::collections::BTreeMap;
+
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+}
+
+impl Registry {
+    pub fn snapshot(&self, now: u64) -> Vec<(String, u64, u64)> {
+        let mut out = Vec::new();
+        for (name, v) in &self.counters {
+            out.push((name.clone(), *v, now));
+        }
+        out
+    }
+}

@@ -1,0 +1,17 @@
+use std::collections::HashMap;
+
+pub struct Registry {
+    counters: HashMap<String, u64>,
+}
+
+impl Registry {
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let started = std::time::Instant::now();
+        let mut out = Vec::new();
+        for name in self.counters.keys() {
+            out.push((name.clone(), 0));
+        }
+        let _ = started.elapsed();
+        out
+    }
+}

@@ -8,6 +8,7 @@
 //! byte counts so Figure 12 (bandwidth over time) can be regenerated.
 
 use crate::config::SimConfig;
+use crate::metrics::MetricsRegistry;
 use crate::stats::BandwidthRecorder;
 use crate::time::Ns;
 use crate::timeline::Timeline;
@@ -75,6 +76,7 @@ pub struct Fabric {
     class_tx: [u64; 5],
     class_rx: [u64; 5],
     trace: TraceSink,
+    metrics: MetricsRegistry,
 }
 
 impl Fabric {
@@ -89,12 +91,19 @@ impl Fabric {
             class_tx: [0; 5],
             class_rx: [0; 5],
             trace: TraceSink::disabled(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
     /// Routes this fabric's wire-occupancy events into `sink`.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Registers a metrics handle for per-class byte counters
+    /// (`fabric_tx_bytes` / `fabric_rx_bytes`, lane = service-class index).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// The calibration constants in force.
@@ -117,9 +126,13 @@ impl Fabric {
         if inbound {
             self.bw.record_rx(end, bytes as u64);
             self.class_rx[class.idx()] += bytes as u64;
+            self.metrics
+                .add("fabric_rx_bytes", class.idx(), bytes as u64);
         } else {
             self.bw.record_tx(end, bytes as u64);
             self.class_tx[class.idx()] += bytes as u64;
+            self.metrics
+                .add("fabric_tx_bytes", class.idx(), bytes as u64);
         }
         self.trace.emit(
             t,

@@ -27,6 +27,10 @@
 //!   uses.
 //! - [`stats`]: latency histograms and bandwidth time series used to
 //!   regenerate the paper's tables and figures.
+//! - [`metrics`]: the virtual-time telemetry layer — a deterministic
+//!   [`MetricsRegistry`] of per-core counters and sampled gauges, plus the
+//!   [`SpanProfiler`] that folds the trace stream into flamegraph stacks
+//!   and fault-latency histograms.
 //! - [`rng`]: deterministic random streams and the size/popularity
 //!   distributions the evaluation workloads need.
 //!
@@ -37,6 +41,7 @@ pub mod ec;
 pub mod fabric;
 pub mod lru;
 pub mod memnode;
+pub mod metrics;
 pub mod rdma;
 pub mod rng;
 pub mod sched;
@@ -50,6 +55,7 @@ pub use ec::{EcError, Gf256, ReedSolomon};
 pub use fabric::{Fabric, ServiceClass};
 pub use lru::LruChain;
 pub use memnode::{MemoryNode, RegionHandle};
+pub use metrics::{MetricsRegistry, SpanProfiler, DEFAULT_SAMPLE_INTERVAL_NS};
 pub use rdma::{RdmaEndpoint, RdmaError, Segment};
 pub use rng::{MixedSizes, SplitMix64, Zipf};
 pub use sched::{Calendar, EventId, SchedEvent};

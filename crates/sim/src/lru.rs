@@ -12,6 +12,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::metrics::MetricsRegistry;
+
 #[derive(Debug, Clone, Copy)]
 struct Links {
     prev: Option<u64>,
@@ -24,12 +26,19 @@ pub struct LruChain {
     links: BTreeMap<u64, Links>,
     head: Option<u64>,
     tail: Option<u64>,
+    metrics: MetricsRegistry,
 }
 
 impl LruChain {
     /// Creates an empty chain.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers a metrics handle for recency-churn counters
+    /// (`lru_inserts` / `lru_touches` / `lru_removes`).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Number of keys tracked.
@@ -85,6 +94,7 @@ impl LruChain {
             self.unlink(key);
         }
         self.push_head(key);
+        self.metrics.inc("lru_inserts", 0);
     }
 
     /// Marks `key` most recently used; no-op if untracked.
@@ -95,6 +105,7 @@ impl LruChain {
         if self.links.contains_key(&key) {
             self.unlink(key);
             self.push_head(key);
+            self.metrics.inc("lru_touches", 0);
         }
     }
 
@@ -103,6 +114,7 @@ impl LruChain {
         if self.links.contains_key(&key) {
             self.unlink(key);
             self.links.remove(&key);
+            self.metrics.inc("lru_removes", 0);
             true
         } else {
             false

@@ -14,6 +14,7 @@
 use std::cell::Cell;
 use std::collections::BTreeMap;
 
+use crate::metrics::MetricsRegistry;
 use crate::time::{Ns, PAGE_SIZE};
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -57,6 +58,7 @@ pub struct MemoryNode {
     next_key: u32,
     huge_pages: bool,
     trace: TraceSink,
+    metrics: MetricsRegistry,
     /// Virtual time of the in-flight verb, stamped by the endpoint before
     /// each data-path access (the passive node has no clock of its own).
     access_time: Cell<Ns>,
@@ -87,6 +89,12 @@ impl MemoryNode {
     /// Routes this node's served accesses into `sink`.
     pub fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Registers a metrics handle for served-access counters
+    /// (`memnode_reads` / `memnode_writes` plus byte totals).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Stamps the virtual time of the next served access (set by the RDMA
@@ -129,6 +137,8 @@ impl MemoryNode {
                 len: buf.len() as u32,
             },
         );
+        self.metrics.inc("memnode_reads", 0);
+        self.metrics.add("memnode_read_bytes", 0, buf.len() as u64);
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
@@ -155,6 +165,8 @@ impl MemoryNode {
                 len: buf.len() as u32,
             },
         );
+        self.metrics.inc("memnode_writes", 0);
+        self.metrics.add("memnode_write_bytes", 0, buf.len() as u64);
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;

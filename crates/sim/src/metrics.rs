@@ -1,0 +1,790 @@
+//! Virtual-time telemetry: a metrics registry, a calendar-driven gauge
+//! sampler, and a span profiler over the trace stream.
+//!
+//! The paper's headline evidence is observability output — fault-latency
+//! breakdowns (Figs. 1/6), RDMA curves (Fig. 2), bandwidth and occupancy
+//! behaviour under eager reclaim — and this module unifies the repo's
+//! fragmented instrumentation behind three deterministic surfaces:
+//!
+//! 1. [`MetricsRegistry`] — shared-nothing per-core counters and named
+//!    gauges, all `BTreeMap`-keyed so no enumeration can leak hash order.
+//!    The node, RDMA endpoint, memory node, LRU chain, scheduler, and the
+//!    baselines all register into the same handle.
+//! 2. The **calendar-driven sampler** — the registry owns a *private*
+//!    [`Calendar`] of recurring [`SchedEvent::SampleTick`] events. Hosts
+//!    poll it at their existing event-drain points and snapshot every gauge
+//!    into a virtual-time series. Keeping the ticks off the systems' main
+//!    calendars is a purity requirement, not a convenience: wait loops
+//!    (e.g. Fastswap's frame-allocation spin) consult `Calendar::next_due`,
+//!    so a foreign tick in the main calendar would change how many spins —
+//!    and therefore how many reclaim batches — a run executes. With a
+//!    private calendar the main calendars' contents (including sequence
+//!    numbers) are bit-identical with metrics on or off.
+//! 3. [`SpanProfiler`] — a [`TraceObserver`] that folds the existing
+//!    [`TraceEvent`] stream (fault begin/phase/end, RDMA verbs, reclaim
+//!    episodes) into per-core hierarchical spans, emitting a
+//!    flamegraph.pl/inferno-compatible folded-stack file plus end-to-end
+//!    fault-latency histograms per fault kind.
+//!
+//! Like [`TraceSink`], both handles follow the `Option`-branch pattern:
+//! `disabled()` (the default) is a `None` that makes every operation a
+//! single branch, and telemetry is a pure observer either way — it never
+//! emits trace events, never schedules on a shared calendar, and never
+//! feeds back into simulation decisions, so trace digests are byte-stable
+//! under it.
+//!
+//! All JSON emitted here is hand-rolled (the workspace deliberately has no
+//! serialization dependency) and byte-stable: map iteration order is the
+//! `BTreeMap` key order. Metric names are `&'static str` ASCII identifiers,
+//! so no string escaping is needed.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::sched::{Calendar, SchedEvent};
+use crate::stats::LatencyHistogram;
+use crate::time::Ns;
+use crate::trace::{FaultKind, FaultPhase, TraceEvent, TraceObserver, TraceSink};
+
+/// Default gauge-sampling interval: 50 µs of virtual time — fine enough to
+/// see reclaim episodes, coarse enough that bench-scale runs keep their
+/// series small.
+pub const DEFAULT_SAMPLE_INTERVAL_NS: Ns = 50_000;
+
+/// Stable label for a fault kind (histogram keys, folded-stack frames).
+pub fn kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Major => "major",
+        FaultKind::Minor => "minor",
+        FaultKind::ZeroFill => "zero_fill",
+    }
+}
+
+/// Stable label for a fault phase (folded-stack frames, cross-checks
+/// against the hand-maintained `FaultBreakdown` fields).
+pub fn phase_label(phase: FaultPhase) -> &'static str {
+    match phase {
+        FaultPhase::Exception => "exception",
+        FaultPhase::Check => "check",
+        FaultPhase::Alloc => "alloc",
+        FaultPhase::Fetch => "fetch",
+        FaultPhase::Map => "map",
+        FaultPhase::Reclaim => "reclaim",
+    }
+}
+
+#[derive(Debug)]
+struct RegistryCore {
+    /// Counter name → per-core lanes (lane 0 for global/background work).
+    /// Lanes grow on demand so components need no core-count plumbing.
+    counters: BTreeMap<&'static str, Vec<u64>>,
+    /// Latest value of each registered gauge.
+    gauges: BTreeMap<&'static str, u64>,
+    /// Gauge name → sampled `(virtual time, value)` series.
+    series: BTreeMap<&'static str, Vec<(Ns, u64)>>,
+    interval: Ns,
+    /// The sampler's own calendar of recurring `SampleTick`s — deliberately
+    /// never shared with a system's main calendar (see module docs).
+    sampler: Calendar,
+    samples: u64,
+}
+
+/// Cloneable handle to a (possibly absent) metrics registry.
+///
+/// All clones share one store; [`MetricsRegistry::disabled`] (and
+/// `Default`) is the dark handle whose every method is a branch on `None`.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Rc<RefCell<RegistryCore>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "MetricsRegistry(disabled)"),
+            Some(core) => {
+                let c = core.borrow();
+                write!(
+                    f,
+                    "MetricsRegistry(counters={}, gauges={}, samples={})",
+                    c.counters.len(),
+                    c.gauges.len(),
+                    c.samples
+                )
+            }
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// The dark handle: nothing is recorded, every call is a `None` branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording registry sampling gauges every
+    /// [`DEFAULT_SAMPLE_INTERVAL_NS`].
+    pub fn recording() -> Self {
+        Self::with_interval(DEFAULT_SAMPLE_INTERVAL_NS)
+    }
+
+    /// A recording registry with a custom sampling interval (clamped to at
+    /// least 1 ns). The first tick is due at `interval`.
+    pub fn with_interval(interval: Ns) -> Self {
+        let interval = interval.max(1);
+        let sampler = Calendar::new();
+        sampler.schedule(interval, SchedEvent::SampleTick);
+        Self {
+            inner: Some(Rc::new(RefCell::new(RegistryCore {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                series: BTreeMap::new(),
+                interval,
+                sampler,
+                samples: 0,
+            }))),
+        }
+    }
+
+    /// Whether metrics are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to counter `name` on per-core `lane`. No-op (one
+    /// branch) when disabled.
+    #[inline]
+    pub fn add(&self, name: &'static str, lane: usize, delta: u64) {
+        let Some(core) = &self.inner else { return };
+        let mut c = core.borrow_mut();
+        let lanes = c.counters.entry(name).or_default();
+        if lanes.len() <= lane {
+            lanes.resize(lane + 1, 0);
+        }
+        lanes[lane] += delta;
+    }
+
+    /// Increments counter `name` on `lane` by one.
+    #[inline]
+    pub fn inc(&self, name: &'static str, lane: usize) {
+        self.add(name, lane, 1);
+    }
+
+    /// Sum of counter `name` across all lanes (zero if never touched).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |core| {
+            core.borrow()
+                .counters
+                .get(name)
+                .map_or(0, |lanes| lanes.iter().sum())
+        })
+    }
+
+    /// The per-lane values of counter `name` (empty if never touched).
+    pub fn counter_lanes(&self, name: &str) -> Vec<u64> {
+        self.inner.as_ref().map_or_else(Vec::new, |core| {
+            core.borrow()
+                .counters
+                .get(name)
+                .cloned()
+                .unwrap_or_default()
+        })
+    }
+
+    /// Sets gauge `name` to `value` (registering it on first use).
+    #[inline]
+    pub fn set_gauge(&self, name: &'static str, value: u64) {
+        let Some(core) = &self.inner else { return };
+        core.borrow_mut().gauges.insert(name, value);
+    }
+
+    /// The latest value of gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|core| core.borrow().gauges.get(name).copied())
+    }
+
+    /// The gauge-sampling interval (zero when disabled).
+    pub fn sample_interval_ns(&self) -> Ns {
+        self.inner.as_ref().map_or(0, |core| core.borrow().interval)
+    }
+
+    /// Number of samples taken so far.
+    pub fn samples(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |core| core.borrow().samples)
+    }
+
+    /// Pops the next sample tick due at or before `now` from the private
+    /// sampler calendar, rescheduling the recurring tick, and returns the
+    /// tick's virtual time. Hosts call this in a `while let` at their
+    /// event-drain points and record a gauge snapshot per returned tick:
+    ///
+    /// ```text
+    /// while let Some(t) = self.metrics.next_sample_due(now) {
+    ///     self.record_gauges(t);
+    /// }
+    /// ```
+    ///
+    /// Sampling is drain-point semantics, deterministically: a tick due at
+    /// virtual time `T` is observed at the host's first drain at or after
+    /// `T`, and the snapshot is timestamped `T`.
+    pub fn next_sample_due(&self, now: Ns) -> Option<Ns> {
+        let core = self.inner.as_ref()?;
+        let c = core.borrow();
+        let (t, _) = c.sampler.pop_due(now)?;
+        let next = t + c.interval;
+        c.sampler.schedule(next, SchedEvent::SampleTick);
+        Some(t)
+    }
+
+    /// Appends the current value of every gauge to its time series,
+    /// stamped `t`.
+    pub fn record_sample(&self, t: Ns) {
+        let Some(core) = &self.inner else { return };
+        let mut c = core.borrow_mut();
+        let RegistryCore {
+            gauges,
+            series,
+            samples,
+            ..
+        } = &mut *c;
+        *samples += 1;
+        for (&name, &value) in gauges.iter() {
+            series.entry(name).or_default().push((t, value));
+        }
+    }
+
+    /// The sampled series for gauge `name` (empty if never sampled).
+    pub fn series(&self, name: &str) -> Vec<(Ns, u64)> {
+        self.inner.as_ref().map_or_else(Vec::new, |core| {
+            core.borrow().series.get(name).cloned().unwrap_or_default()
+        })
+    }
+
+    /// Counters as a byte-stable JSON object: `{"name": [lane0, …], …}`.
+    /// Disabled registries emit `{}`.
+    pub fn counters_json(&self) -> String {
+        let Some(core) = &self.inner else {
+            return "{}".to_string();
+        };
+        let c = core.borrow();
+        let mut out = String::from("{");
+        for (i, (name, lanes)) in c.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": [");
+            for (j, v) in lanes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Latest gauge values as a byte-stable JSON object:
+    /// `{"name": value, …}`. Disabled registries emit `{}`.
+    pub fn gauges_json(&self) -> String {
+        let Some(core) = &self.inner else {
+            return "{}".to_string();
+        };
+        let c = core.borrow();
+        let mut out = String::from("{");
+        for (i, (name, value)) in c.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {value}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Sampled time series as a byte-stable JSON object:
+    /// `{"name": [[t_ns, value], …], …}`. Disabled registries emit `{}`.
+    pub fn series_json(&self) -> String {
+        let Some(core) = &self.inner else {
+            return "{}".to_string();
+        };
+        let c = core.borrow();
+        let mut out = String::from("{");
+        for (i, (name, points)) in c.series.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": [");
+            for (j, (t, v)) in points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{t}, {v}]");
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A fault span opened by `FaultBegin` and not yet closed.
+#[derive(Debug, Clone, Copy)]
+struct OpenFault {
+    kind: FaultKind,
+    begin: Ns,
+    /// Virtual time already attributed to named phases: the `FaultEnd`
+    /// residual (if any) is charged to the bare fault frame so the folded
+    /// stacks sum to wall (virtual) time per fault.
+    charged: Ns,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerCore {
+    /// Per-core open fault span (the handler is synchronous per core).
+    open: BTreeMap<u8, OpenFault>,
+    /// Folded stack → accumulated virtual ns. `String` keys in a `BTreeMap`
+    /// give byte-stable output order.
+    folded: BTreeMap<String, u128>,
+    /// End-to-end fault latency per fault kind.
+    hist: BTreeMap<&'static str, LatencyHistogram>,
+    /// Completed fault spans per kind (cross-checked against the systems'
+    /// hand-maintained counters).
+    counts: BTreeMap<&'static str, u64>,
+    /// Total virtual ns per fault phase across all spans.
+    phase_sums: BTreeMap<&'static str, Ns>,
+    /// In-flight verbs per `(class, write, node, core)` queue-pair key.
+    /// Same-key verbs complete FIFO, so issue times pop front-first.
+    rdma_open: BTreeMap<(u8, bool, u8, u8), VecDeque<Ns>>,
+    /// The open background reclaim episode, if any.
+    reclaim_open: Option<Ns>,
+}
+
+impl TraceObserver for ProfilerCore {
+    fn on_event(&mut self, t: Ns, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::FaultBegin { core, kind, .. } => {
+                self.open.insert(
+                    core,
+                    OpenFault {
+                        kind,
+                        begin: t,
+                        charged: 0,
+                    },
+                );
+            }
+            TraceEvent::FaultPhase { core, phase, dur } => {
+                if let Some(f) = self.open.get_mut(&core) {
+                    f.charged += dur;
+                    let kind = kind_label(f.kind);
+                    let key = format!("core{core};fault:{kind};{}", phase_label(phase));
+                    *self.folded.entry(key).or_default() += dur as u128;
+                    *self.phase_sums.entry(phase_label(phase)).or_default() += dur;
+                }
+            }
+            TraceEvent::FaultEnd { core, .. } => {
+                if let Some(f) = self.open.remove(&core) {
+                    let total = t.saturating_sub(f.begin);
+                    let kind = kind_label(f.kind);
+                    self.hist.entry(kind).or_default().record(total);
+                    *self.counts.entry(kind).or_default() += 1;
+                    // Phases may double-charge overlapped work (reclaim
+                    // hidden inside the fetch window), so the residual is
+                    // saturating.
+                    let residual = total.saturating_sub(f.charged);
+                    if residual > 0 {
+                        let key = format!("core{core};fault:{kind}");
+                        *self.folded.entry(key).or_default() += residual as u128;
+                    }
+                }
+            }
+            TraceEvent::RdmaIssue {
+                class,
+                write,
+                node,
+                core,
+                ..
+            } => {
+                self.rdma_open
+                    .entry((class.idx() as u8, write, node, core))
+                    .or_default()
+                    .push_back(t);
+            }
+            TraceEvent::RdmaComplete {
+                class,
+                write,
+                node,
+                core,
+                done,
+            } => {
+                let key = (class.idx() as u8, write, node, core);
+                if let Some(t0) = self.rdma_open.get_mut(&key).and_then(VecDeque::pop_front) {
+                    let rw = if write { "write" } else { "read" };
+                    let stack = format!("core{core};rdma:{}:{rw}", class.label());
+                    *self.folded.entry(stack).or_default() += done.saturating_sub(t0) as u128;
+                }
+            }
+            TraceEvent::ReclaimBegin { .. } => {
+                self.reclaim_open = Some(t);
+            }
+            TraceEvent::ReclaimEnd { .. } => {
+                if let Some(t0) = self.reclaim_open.take() {
+                    *self.folded.entry("bg;reclaim".to_string()).or_default() +=
+                        t.saturating_sub(t0) as u128;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Cloneable handle to a (possibly absent) span profiler.
+///
+/// Attach it to a [`TraceSink`] with [`SpanProfiler::attach_to`]; it then
+/// consumes every event synchronously, like the auditor, without emitting
+/// anything back — a pure observer.
+#[derive(Clone, Default)]
+pub struct SpanProfiler {
+    inner: Option<Rc<RefCell<ProfilerCore>>>,
+}
+
+impl std::fmt::Debug for SpanProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "SpanProfiler(disabled)"),
+            Some(core) => {
+                let c = core.borrow();
+                write!(
+                    f,
+                    "SpanProfiler(stacks={}, open={})",
+                    c.folded.len(),
+                    c.open.len()
+                )
+            }
+        }
+    }
+}
+
+impl SpanProfiler {
+    /// The dark handle: nothing is recorded.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording profiler (attach it to a sink to feed it).
+    pub fn recording() -> Self {
+        Self {
+            inner: Some(Rc::new(RefCell::new(ProfilerCore::default()))),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Subscribes this profiler to every subsequent event of `sink`. A
+    /// no-op when either side is disabled.
+    pub fn attach_to(&self, sink: &TraceSink) {
+        if let Some(core) = &self.inner {
+            sink.attach(core.clone());
+        }
+    }
+
+    /// Completed fault spans of `kind` (`"major"`, `"minor"`,
+    /// `"zero_fill"`).
+    pub fn fault_count(&self, kind: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |core| {
+            core.borrow().counts.get(kind).copied().unwrap_or(0)
+        })
+    }
+
+    /// Total virtual ns attributed to `phase` (`"exception"`, `"check"`,
+    /// `"alloc"`, `"fetch"`, `"map"`, `"reclaim"`) across all spans.
+    pub fn phase_sum(&self, phase: &str) -> Ns {
+        self.inner.as_ref().map_or(0, |core| {
+            core.borrow().phase_sums.get(phase).copied().unwrap_or(0)
+        })
+    }
+
+    /// The end-to-end latency histogram for fault `kind`, if any span of
+    /// that kind completed.
+    pub fn histogram(&self, kind: &str) -> Option<LatencyHistogram> {
+        self.inner
+            .as_ref()
+            .and_then(|core| core.borrow().hist.get(kind).cloned())
+    }
+
+    /// The folded-stack output, one `stack value` line per stack in
+    /// byte-stable (sorted) order — the format flamegraph.pl and inferno
+    /// consume directly. Disabled profilers emit the empty string.
+    pub fn folded(&self) -> String {
+        let Some(core) = &self.inner else {
+            return String::new();
+        };
+        let c = core.borrow();
+        let mut out = String::new();
+        for (stack, value) in &c.folded {
+            let _ = writeln!(out, "{stack} {value}");
+        }
+        out
+    }
+
+    /// Fault-latency histograms as a byte-stable JSON object keyed by fault
+    /// kind. Each entry carries summary statistics plus the occupied bucket
+    /// boundaries (`[low_ns, high_ns, count]`, bounds inclusive) so
+    /// consumers can re-plot the distribution without the binary. Disabled
+    /// profilers emit `{}`.
+    pub fn histograms_json(&self) -> String {
+        let Some(core) = &self.inner else {
+            return "{}".to_string();
+        };
+        let c = core.borrow();
+        let mut out = String::from("{");
+        for (i, (kind, h)) in c.hist.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\"{kind}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \
+                 \"max\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [",
+                h.count(),
+                h.sum(),
+                h.mean(),
+                h.min(),
+                h.max(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.quantile(0.999),
+            );
+            for (j, (lo, hi, n)) in h.nonzero_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{lo}, {hi}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::ServiceClass;
+
+    #[test]
+    fn disabled_registry_is_inert_and_emits_nothing() {
+        let m = MetricsRegistry::disabled();
+        m.inc("faults", 0);
+        m.set_gauge("free", 7);
+        m.record_sample(100);
+        assert!(!m.is_enabled());
+        assert_eq!(m.counter_total("faults"), 0);
+        assert_eq!(m.gauge("free"), None);
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.next_sample_due(u64::MAX), None);
+        assert_eq!(m.counters_json(), "{}");
+        assert_eq!(m.gauges_json(), "{}");
+        assert_eq!(m.series_json(), "{}");
+    }
+
+    #[test]
+    fn counters_have_independent_lanes() {
+        let m = MetricsRegistry::recording();
+        m.inc("faults", 0);
+        m.inc("faults", 2);
+        m.add("faults", 2, 4);
+        assert_eq!(m.counter_total("faults"), 6);
+        assert_eq!(m.counter_lanes("faults"), vec![1, 0, 5]);
+        assert_eq!(m.counter_total("absent"), 0);
+        assert_eq!(m.counters_json(), "{\"faults\": [1, 0, 5]}");
+    }
+
+    #[test]
+    fn sampler_ticks_at_the_interval_and_catches_up() {
+        let m = MetricsRegistry::with_interval(100);
+        m.set_gauge("free", 10);
+        assert_eq!(m.next_sample_due(99), None, "first tick is due at 100");
+        // The host drains at t=350: three ticks (100, 200, 300) are due.
+        let mut ticks = Vec::new();
+        while let Some(t) = m.next_sample_due(350) {
+            m.record_sample(t);
+            ticks.push(t);
+        }
+        assert_eq!(ticks, vec![100, 200, 300]);
+        assert_eq!(m.samples(), 3);
+        assert_eq!(m.series("free"), vec![(100, 10), (200, 10), (300, 10)]);
+        assert_eq!(
+            m.series_json(),
+            "{\"free\": [[100, 10], [200, 10], [300, 10]]}"
+        );
+    }
+
+    #[test]
+    fn gauges_json_tracks_latest_values() {
+        let m = MetricsRegistry::recording();
+        m.set_gauge("lru", 3);
+        m.set_gauge("free", 12);
+        m.set_gauge("lru", 4);
+        assert_eq!(m.gauge("lru"), Some(4));
+        assert_eq!(m.gauges_json(), "{\"free\": 12, \"lru\": 4}");
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let m = MetricsRegistry::recording();
+        let m2 = m.clone();
+        m.inc("evictions", 0);
+        m2.inc("evictions", 0);
+        assert_eq!(m.counter_total("evictions"), 2);
+    }
+
+    #[test]
+    fn profiler_folds_fault_spans_with_residual() {
+        let p = SpanProfiler::recording();
+        let sink = TraceSink::recording();
+        p.attach_to(&sink);
+        sink.emit(
+            1_000,
+            TraceEvent::FaultBegin {
+                core: 1,
+                vpn: 7,
+                kind: FaultKind::Major,
+            },
+        );
+        sink.emit(
+            3_000,
+            TraceEvent::FaultPhase {
+                core: 1,
+                phase: FaultPhase::Exception,
+                dur: 500,
+            },
+        );
+        sink.emit(
+            3_000,
+            TraceEvent::FaultPhase {
+                core: 1,
+                phase: FaultPhase::Fetch,
+                dur: 1_200,
+            },
+        );
+        sink.emit(3_000, TraceEvent::FaultEnd { core: 1, vpn: 7 });
+        assert_eq!(p.fault_count("major"), 1);
+        assert_eq!(p.phase_sum("exception"), 500);
+        assert_eq!(p.phase_sum("fetch"), 1_200);
+        let folded = p.folded();
+        assert!(folded.contains("core1;fault:major;exception 500\n"));
+        assert!(folded.contains("core1;fault:major;fetch 1200\n"));
+        // Total span = 2000, phases charged 1700 → 300 ns residual.
+        assert!(folded.contains("core1;fault:major 300\n"));
+        let h = p.histogram("major").expect("major histogram");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 2_000);
+    }
+
+    #[test]
+    fn profiler_matches_rdma_verbs_fifo_per_qp() {
+        let p = SpanProfiler::recording();
+        let sink = TraceSink::recording();
+        p.attach_to(&sink);
+        for t in [100, 150] {
+            sink.emit(
+                t,
+                TraceEvent::RdmaIssue {
+                    class: ServiceClass::Fault,
+                    write: false,
+                    node: 0,
+                    core: 2,
+                    bytes: 4096,
+                },
+            );
+        }
+        for done in [400, 900] {
+            sink.emit(
+                done,
+                TraceEvent::RdmaComplete {
+                    class: ServiceClass::Fault,
+                    write: false,
+                    node: 0,
+                    core: 2,
+                    done,
+                },
+            );
+        }
+        // FIFO: (400-100) + (900-150) = 1050.
+        assert!(p.folded().contains("core2;rdma:fault:read 1050\n"));
+    }
+
+    #[test]
+    fn profiler_folds_reclaim_episodes() {
+        let p = SpanProfiler::recording();
+        let sink = TraceSink::recording();
+        p.attach_to(&sink);
+        sink.emit(10, TraceEvent::ReclaimBegin { free: 2 });
+        sink.emit(60, TraceEvent::ReclaimEnd { freed: 4 });
+        sink.emit(100, TraceEvent::ReclaimBegin { free: 6 });
+        sink.emit(130, TraceEvent::ReclaimEnd { freed: 1 });
+        assert_eq!(p.folded(), "bg;reclaim 80\n");
+    }
+
+    #[test]
+    fn disabled_profiler_emits_nothing() {
+        let p = SpanProfiler::disabled();
+        let sink = TraceSink::recording();
+        p.attach_to(&sink);
+        sink.emit(
+            5,
+            TraceEvent::FaultBegin {
+                core: 0,
+                vpn: 1,
+                kind: FaultKind::Minor,
+            },
+        );
+        sink.emit(9, TraceEvent::FaultEnd { core: 0, vpn: 1 });
+        assert!(!p.is_enabled());
+        assert_eq!(p.folded(), "");
+        assert_eq!(p.histograms_json(), "{}");
+        assert_eq!(p.fault_count("minor"), 0);
+    }
+
+    #[test]
+    fn histograms_json_is_byte_stable_and_carries_buckets() {
+        let run = || {
+            let p = SpanProfiler::recording();
+            let sink = TraceSink::recording();
+            p.attach_to(&sink);
+            for (i, dur) in [2_000u64, 3_000, 2_500].iter().enumerate() {
+                let t0 = i as Ns * 10_000;
+                sink.emit(
+                    t0,
+                    TraceEvent::FaultBegin {
+                        core: 0,
+                        vpn: i as u64,
+                        kind: FaultKind::Major,
+                    },
+                );
+                sink.emit(
+                    t0 + dur,
+                    TraceEvent::FaultEnd {
+                        core: 0,
+                        vpn: i as u64,
+                    },
+                );
+            }
+            p.histograms_json()
+        };
+        let a = run();
+        assert_eq!(a, run(), "histogram JSON must be byte-stable");
+        assert!(a.contains("\"major\": {\"count\": 3"));
+        assert!(a.contains("\"buckets\": [["));
+    }
+}

@@ -22,6 +22,7 @@ use crate::config::SimConfig;
 use crate::ec::ReedSolomon;
 use crate::fabric::{Fabric, ServiceClass};
 use crate::memnode::{MemNodeError, MemoryNode, RegionHandle};
+use crate::metrics::MetricsRegistry;
 use crate::sched::{Calendar, SchedEvent};
 use crate::time::{Ns, PAGE_SIZE};
 use crate::timeline::Timeline;
@@ -128,6 +129,7 @@ pub struct RdmaEndpoint {
     tcp_mode: bool,
     failovers: u64,
     trace: TraceSink,
+    metrics: MetricsRegistry,
     /// When attached, traced verb completions are delivered through the
     /// event calendar at their true virtual time instead of being emitted
     /// inline at issue time.
@@ -198,6 +200,7 @@ impl RdmaEndpoint {
             tcp_mode: false,
             failovers: 0,
             trace: TraceSink::disabled(),
+            metrics: MetricsRegistry::disabled(),
             calendar: None,
         }
     }
@@ -210,6 +213,23 @@ impl RdmaEndpoint {
             n.node.set_trace(sink.clone());
         }
         self.trace = sink;
+    }
+
+    /// Registers a metrics handle for verb counters (`rdma_reads` /
+    /// `rdma_writes`, lane = issuing core). All nodes' fabrics and memory
+    /// nodes share the same registry, mirroring [`set_trace`](Self::set_trace).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        for n in &mut self.nodes {
+            n.fabric.set_metrics(metrics.clone());
+            n.node.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
+    }
+
+    /// Queue pairs whose timeline is still occupied at `now` — the per-QP
+    /// depth gauge the sampler snapshots.
+    pub fn busy_qps(&self, now: Ns) -> usize {
+        self.qps.values().filter(|q| q.busy_until() > now).count()
     }
 
     /// The primary shard index for `remote` (event labelling).
@@ -614,6 +634,7 @@ impl RdmaEndpoint {
         buf: &mut [u8],
     ) -> Result<Ns, RdmaError> {
         self.ops[class.idx()].reads += 1;
+        self.metrics.inc("rdma_reads", core);
         let shard = self.shard_of(remote);
         self.trace_issue(now, core, class, false, shard, buf.len());
         if self.ec.is_some() {
@@ -640,6 +661,7 @@ impl RdmaEndpoint {
         buf: &[u8],
     ) -> Result<Ns, RdmaError> {
         self.ops[class.idx()].writes += 1;
+        self.metrics.inc("rdma_writes", core);
         let shard = self.shard_of(remote);
         self.trace_issue(now, core, class, true, shard, buf.len());
         if self.ec.is_some() {
@@ -868,6 +890,7 @@ impl RdmaEndpoint {
     ) -> Result<Ns, RdmaError> {
         let bytes = Self::check_segments(segments, buf.len())?;
         self.ops[class.idx()].reads += 1;
+        self.metrics.inc("rdma_reads", core);
         let shard = self.shard_of(segments[0].remote);
         self.trace_issue(now, core, class, false, shard, bytes);
         if self.ec.is_some() {
@@ -908,6 +931,7 @@ impl RdmaEndpoint {
     ) -> Result<Ns, RdmaError> {
         let bytes = Self::check_segments(segments, buf.len())?;
         self.ops[class.idx()].writes += 1;
+        self.metrics.inc("rdma_writes", core);
         let shard = self.shard_of(segments[0].remote);
         self.trace_issue(now, core, class, true, shard, bytes);
         if self.ec.is_some() {

@@ -25,6 +25,7 @@ use std::collections::{BinaryHeap, HashSet};
 use std::rc::Rc;
 
 use crate::fabric::ServiceClass;
+use crate::metrics::MetricsRegistry;
 use crate::time::Ns;
 
 /// Identifies a scheduled event so it can be cancelled before delivery.
@@ -56,6 +57,12 @@ pub enum SchedEvent {
     },
     /// A failed memory node comes back and must be resynced.
     NodeRepair { node: usize },
+    /// A recurring telemetry tick: snapshot every registered gauge into its
+    /// virtual-time series. These live on the metrics registry's *private*
+    /// calendar — never on a system's main calendar, where they would
+    /// perturb `next_due`-driven wait loops and break the purity guarantee
+    /// that trace digests are identical with metrics on or off.
+    SampleTick,
 }
 
 /// One calendar entry. Ordered by `(at, seq)` — earliest first, insertion
@@ -95,6 +102,10 @@ struct CalendarCore {
     /// Lazily-cancelled entries, dropped when they surface.
     cancelled: HashSet<u64>,
     next_seq: u64,
+    /// Scheduler telemetry (`sched_scheduled` / `sched_delivered` /
+    /// `sched_cancelled`). Disabled by default; pure observation either
+    /// way — counters never influence ordering or sequence numbers.
+    metrics: MetricsRegistry,
 }
 
 impl CalendarCore {
@@ -128,6 +139,13 @@ impl Calendar {
         Self::default()
     }
 
+    /// Registers a metrics handle for scheduler counters. The registry is
+    /// write-only from here: it cannot perturb event order, timing, or
+    /// sequence numbers.
+    pub fn set_metrics(&self, metrics: MetricsRegistry) {
+        self.inner.borrow_mut().metrics = metrics;
+    }
+
     /// Schedules `ev` for delivery at virtual time `at`.
     ///
     /// Events due at the same instant are delivered in scheduling order.
@@ -136,6 +154,7 @@ impl Calendar {
         let seq = c.next_seq;
         c.next_seq += 1;
         c.heap.push(Entry { at, seq, ev });
+        c.metrics.inc("sched_scheduled", 0);
         EventId(seq)
     }
 
@@ -146,6 +165,7 @@ impl Calendar {
         let live = c.heap.iter().any(|e| e.seq == id.0);
         if live && c.cancelled.insert(id.0) {
             c.skim();
+            c.metrics.inc("sched_cancelled", 0);
             true
         } else {
             false
@@ -164,7 +184,11 @@ impl Calendar {
         let mut c = self.inner.borrow_mut();
         c.skim();
         if c.heap.peek().is_some_and(|e| e.at <= now) {
-            c.heap.pop().map(|e| (e.at, e.ev))
+            let popped = c.heap.pop().map(|e| (e.at, e.ev));
+            if popped.is_some() {
+                c.metrics.inc("sched_delivered", 0);
+            }
+            popped
         } else {
             None
         }
@@ -176,7 +200,11 @@ impl Calendar {
     pub fn pop_next(&self) -> Option<(Ns, SchedEvent)> {
         let mut c = self.inner.borrow_mut();
         c.skim();
-        c.heap.pop().map(|e| (e.at, e.ev))
+        let popped = c.heap.pop().map(|e| (e.at, e.ev));
+        if popped.is_some() {
+            c.metrics.inc("sched_delivered", 0);
+        }
+        popped
     }
 
     /// Pending (non-cancelled) events.

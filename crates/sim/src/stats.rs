@@ -61,6 +61,17 @@ impl LatencyHistogram {
         (1 << exp) | (sub << (exp - SUB_BITS))
     }
 
+    fn bucket_high(idx: usize) -> Ns {
+        // The last addressable bucket starts at exponent 63; its successor's
+        // low bound would need `1 << 64`, so it tops out at `Ns::MAX`.
+        const TOP: usize = (64 - SUB_BITS as usize + 1) * SUB;
+        if idx + 1 >= TOP {
+            Ns::MAX
+        } else {
+            Self::bucket_low(idx + 1) - 1
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, v: Ns) {
         self.counts[Self::index(v)] += 1;
@@ -73,6 +84,12 @@ impl LatencyHistogram {
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of all recorded samples (`u128`: 2⁶⁴ samples of `Ns::MAX` each
+    /// cannot overflow it).
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Mean of recorded samples (zero when empty).
@@ -115,6 +132,19 @@ impl LatencyHistogram {
             }
         }
         self.max
+    }
+
+    /// Returns `(low, high, count)` for every occupied bucket, in value
+    /// order, with inclusive bounds. This is the full distribution — the
+    /// snapshot a JSON consumer needs to re-plot percentiles without the
+    /// binary.
+    pub fn nonzero_buckets(&self) -> Vec<(Ns, Ns, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_low(i), Self::bucket_high(i), c))
+            .collect()
     }
 
     /// Merges another histogram into this one.
@@ -246,6 +276,68 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 300);
         assert_eq!(a.min(), 100);
+    }
+
+    #[test]
+    fn histogram_merge_empty_and_self() {
+        // empty ⊕ nonempty, both directions.
+        let mut filled = LatencyHistogram::new();
+        filled.record(100);
+        filled.record(300);
+        let mut a = LatencyHistogram::new();
+        a.merge(&filled);
+        assert_eq!(
+            (a.count(), a.sum(), a.mean(), a.min(), a.max()),
+            (2, 400, 200, 100, 300)
+        );
+        let mut b = filled.clone();
+        b.merge(&LatencyHistogram::new());
+        assert_eq!(
+            (b.count(), b.sum(), b.mean(), b.min(), b.max()),
+            (2, 400, 200, 100, 300)
+        );
+        // Self-merge doubles count and sum, keeps min/max/mean.
+        let twin = filled.clone();
+        filled.merge(&twin);
+        assert_eq!(
+            (
+                filled.count(),
+                filled.sum(),
+                filled.mean(),
+                filled.min(),
+                filled.max()
+            ),
+            (4, 800, 200, 100, 300)
+        );
+        // Empty ⊕ empty stays safe.
+        let mut e = LatencyHistogram::new();
+        e.merge(&LatencyHistogram::new());
+        assert_eq!((e.count(), e.sum(), e.mean(), e.min()), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_every_sample() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 3, 17, 1_000, 1_001, u64::MAX] {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.iter().map(|&(_, _, c)| c).sum::<u64>(), h.count());
+        for w in buckets.windows(2) {
+            assert!(w[0].1 < w[1].0, "buckets must be disjoint and ordered");
+        }
+        for &(lo, hi, _) in &buckets {
+            assert!(lo <= hi);
+        }
+        // Every recorded value falls inside some reported bucket.
+        for v in [0u64, 3, 17, 1_000, 1_001, u64::MAX] {
+            assert!(
+                buckets.iter().any(|&(lo, hi, _)| lo <= v && v <= hi),
+                "value {v} not covered"
+            );
+        }
+        // The top bucket's high bound saturates instead of overflowing.
+        assert_eq!(buckets.last().map(|&(_, hi, _)| hi), Some(u64::MAX));
     }
 
     #[test]

@@ -210,6 +210,68 @@ fn randomized_mixed_rw_is_system_independent() {
     }
 }
 
+/// Trace-derived telemetry must agree with the hand-maintained counters:
+/// the span profiler counts faults by watching `FaultBegin` events, while
+/// each system increments its own stats fields on the fault path. A
+/// divergence means either the trace or the stats lies about what ran.
+#[test]
+fn trace_derived_metrics_match_hand_counters() {
+    const WS_PAGES: usize = 128;
+    const WS: usize = WS_PAGES * 4096;
+
+    for kind in SYSTEMS {
+        for ratio in [13u32, 50] {
+            let mut mem = SystemSpec::for_working_set(kind, WS as u64, ratio)
+                .with_metrics()
+                .boot();
+            let base = mem.alloc(WS);
+            let mut rng = Rng(0xFEED_F00D);
+            // A write pass to force zero-fills, then a random mix to force
+            // majors/minors under pressure.
+            for p in 0..WS_PAGES {
+                mem.write_u64(0, base + (p * 4096) as u64, p as u64);
+            }
+            for _ in 0..500 {
+                let at = ((rng.next() as usize) % WS) & !7;
+                if rng.next().is_multiple_of(2) {
+                    mem.write_u64(0, base + at as u64, at as u64);
+                } else {
+                    mem.read_u64(0, base + at as u64);
+                }
+            }
+            // Quiesce so late minor-fault completions and background
+            // reclaim are all delivered before comparing.
+            mem.trace_digest();
+            let profiler = mem.profiler();
+            let (major, minor, zero) = mem.fault_counters();
+            let tag = format!("{} @ {ratio}%", kind.label());
+            assert_eq!(profiler.fault_count("major"), major, "{tag}: major");
+            assert_eq!(profiler.fault_count("minor"), minor, "{tag}: minor");
+            assert_eq!(profiler.fault_count("zero_fill"), zero, "{tag}: zero");
+            assert!(major > 0, "{tag}: workload produced no major faults");
+            // DiLOS keeps a per-phase breakdown; the profiler's phase sums
+            // (derived from FaultPhase trace spans) must equal it exactly.
+            for (phase, ns) in mem.phase_sums() {
+                assert_eq!(
+                    profiler.phase_sum(phase),
+                    ns,
+                    "{tag}: phase {phase} diverged"
+                );
+            }
+            // The registry's scheduler counters must balance: everything
+            // scheduled was either delivered or cancelled.
+            let metrics = mem.metrics();
+            let scheduled = metrics.counter_total("sched_scheduled");
+            let done =
+                metrics.counter_total("sched_delivered") + metrics.counter_total("sched_cancelled");
+            assert!(
+                done <= scheduled,
+                "{tag}: delivered+cancelled {done} > scheduled {scheduled}"
+            );
+        }
+    }
+}
+
 #[test]
 fn far_array_bulk_ops_survive_pressure_everywhere() {
     for kind in SYSTEMS {

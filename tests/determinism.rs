@@ -138,6 +138,97 @@ fn reclaim_episodes_evict_at_distinct_virtual_times() {
     );
 }
 
+/// The metrics registry, sampler, and span profiler must be pure observers:
+/// booting with metrics on cannot change a single event in the trace. The
+/// sampler runs on a registry-private calendar precisely so its ticks never
+/// reach the systems' event loops.
+#[test]
+fn metrics_leave_trace_digests_unchanged() {
+    for kind in [
+        SystemKind::DilosReadahead,
+        SystemKind::DilosTrend,
+        SystemKind::Fastswap,
+        SystemKind::Aifm,
+    ] {
+        for ratio in [13u32, 100] {
+            let spec = SystemSpec::for_working_set(kind, WS_PAGES * 4096, ratio)
+                .with_trace()
+                .with_metrics();
+            let mut mem = spec.boot();
+            drive(mem.as_mut(), 0xD15C0);
+            // Digesting quiesces, which also flushes sampler ticks up to
+            // the completion horizon — check samples only afterwards.
+            let metered = mem.trace_digest();
+            assert_eq!(
+                metered,
+                digest_of(kind, ratio, 0xD15C0),
+                "{} @ {ratio}%: metrics perturbed the trace",
+                kind.label()
+            );
+            // The sampler ticks every interval up to the completion
+            // horizon — exactly floor(max_now / interval) times. (AIFM at
+            // 100% local finishes inside one interval: zero ticks is
+            // correct there, not a telemetry hole.)
+            let m = mem.metrics();
+            assert_eq!(
+                m.samples(),
+                mem.max_now() / m.sample_interval_ns(),
+                "{} @ {ratio}%: wrong sampler tick count",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Same seed, two fresh metered boots: every telemetry artifact must come
+/// out byte-identical — counters, gauge series, and folded profiler stacks.
+#[test]
+fn telemetry_artifacts_are_byte_identical_across_boots() {
+    let run = || {
+        let spec = SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13)
+            .with_metrics();
+        let mut mem = spec.boot();
+        drive(mem.as_mut(), 0xBEEF);
+        mem.trace_digest();
+        let m = mem.metrics();
+        let p = mem.profiler();
+        (
+            m.counters_json(),
+            m.gauges_json(),
+            m.series_json(),
+            p.folded(),
+            p.histograms_json(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "counters diverged");
+    assert_eq!(a.1, b.1, "gauges diverged");
+    assert_eq!(a.2, b.2, "series diverged");
+    assert_eq!(a.3, b.3, "folded stacks diverged");
+    assert_eq!(a.4, b.4, "histograms diverged");
+    assert!(!a.3.is_empty(), "metered run must produce profiler spans");
+}
+
+/// A system booted without `--metrics` carries disabled handles that record
+/// nothing and emit empty artifacts — the zero-cost-when-off contract.
+#[test]
+fn disabled_telemetry_emits_nothing() {
+    let spec = SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13);
+    let mut mem = spec.boot();
+    drive(mem.as_mut(), 3);
+    let m = mem.metrics();
+    let p = mem.profiler();
+    assert!(!m.is_enabled());
+    assert!(!p.is_enabled());
+    assert_eq!(m.samples(), 0);
+    assert_eq!(m.counters_json(), "{}");
+    assert_eq!(m.gauges_json(), "{}");
+    assert_eq!(m.series_json(), "{}");
+    assert_eq!(p.folded(), "");
+    assert_eq!(p.histograms_json(), "{}");
+}
+
 #[test]
 fn audited_deterministic_run_is_violation_free() {
     let spec =
