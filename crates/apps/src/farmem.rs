@@ -7,10 +7,80 @@
 
 use dilos_baselines::{Aifm, AifmConfig, Fastswap, FastswapConfig};
 use dilos_core::{Dilos, DilosConfig, NoPrefetch, Readahead, TrendBased};
-use dilos_sim::{MetricsRegistry, Ns, SpanProfiler};
+use dilos_sim::{MetricsRegistry, Ns, Observability, SpanProfiler};
+
+/// Observation surface of a far-memory system: counters, traces, telemetry.
+///
+/// Split out of [`FarMemory`] so the core data-path surface stays small.
+/// Everything here is pure observation — calling it never changes what a
+/// workload computes or when. All methods have dark defaults; systems
+/// booted with [`Observability::none`] report zeros and empty handles.
+pub trait Introspect {
+    /// `(major, minor)` page-fault counts, where the system defines them
+    /// (AIFM reports `(misses, in-flight waits)`).
+    fn fault_counts(&self) -> (u64, u64);
+
+    /// Total network traffic so far: `(tx_bytes, rx_bytes)`.
+    fn net_bytes(&self) -> (u64, u64);
+
+    /// Downcast to a DiLOS node for DiLOS-specific reporting.
+    fn as_dilos(&self) -> Option<&Dilos> {
+        None
+    }
+
+    /// Order-sensitive digest of the structured event trace; 0 when the
+    /// system was booted with a non-recording [`Observability`] bundle.
+    /// Equal seeds and configurations must produce equal digests.
+    ///
+    /// Takes `&mut self` because digesting quiesces the system first:
+    /// pending calendar events (in-flight fetches, open reclaim episodes,
+    /// deferred writebacks) are delivered at their scheduled virtual times
+    /// so the digest covers a settled trace. Idempotent.
+    fn trace_digest(&mut self) -> u64 {
+        0
+    }
+
+    /// Invariant-auditor findings (empty on a healthy run, and always empty
+    /// when the system does not support auditing or it is off). Quiesces
+    /// pending background work first, like [`Introspect::trace_digest`].
+    fn audit_report(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// Handle to the system's metrics registry. Disabled (and empty) unless
+    /// the system was booted with a metered [`Observability`] bundle.
+    fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::disabled()
+    }
+
+    /// Handle to the system's span profiler. Disabled unless the system was
+    /// booted with a metered [`Observability`] bundle.
+    fn profiler(&self) -> SpanProfiler {
+        SpanProfiler::disabled()
+    }
+
+    /// `(major, minor, zero_fill)` fault counts *as the event trace records
+    /// them*, for cross-checking trace-derived profiler counts against the
+    /// hand-maintained stats. AIFM only traces misses as major faults, so it
+    /// reports `(misses, 0, 0)` here even though [`Introspect::fault_counts`]
+    /// exposes in-flight waits.
+    fn fault_counters(&self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
+
+    /// Hand-maintained per-phase fault-latency sums `(label, ns)`, using the
+    /// same labels as the span profiler's phases. Empty for systems that do
+    /// not keep a phase breakdown.
+    fn phase_sums(&self) -> Vec<(&'static str, Ns)> {
+        Vec::new()
+    }
+}
 
 /// Byte-addressable far memory with virtual-time accounting.
-pub trait FarMemory {
+///
+/// This is the data-path surface (alloc/read/write/compute/time); the
+/// observation surface lives in the [`Introspect`] supertrait.
+pub trait FarMemory: Introspect {
     /// Allocates `len` bytes; returns the base virtual address.
     fn alloc(&mut self, len: usize) -> u64;
 
@@ -37,65 +107,6 @@ pub trait FarMemory {
 
     /// Display label for result tables.
     fn label(&self) -> String;
-
-    /// `(major, minor)` page-fault counts, where the system defines them
-    /// (AIFM reports `(misses, in-flight waits)`).
-    fn fault_counts(&self) -> (u64, u64);
-
-    /// Total network traffic so far: `(tx_bytes, rx_bytes)`.
-    fn net_bytes(&self) -> (u64, u64);
-
-    /// Downcast to a DiLOS node for DiLOS-specific reporting.
-    fn as_dilos(&self) -> Option<&Dilos> {
-        None
-    }
-
-    /// Order-sensitive digest of the structured event trace; 0 when the
-    /// system was booted without [`SystemSpec::trace`]. Equal seeds and
-    /// configurations must produce equal digests.
-    ///
-    /// Takes `&mut self` because digesting quiesces the system first:
-    /// pending calendar events (in-flight fetches, open reclaim episodes,
-    /// deferred writebacks) are delivered at their scheduled virtual times
-    /// so the digest covers a settled trace. Idempotent.
-    fn trace_digest(&mut self) -> u64 {
-        0
-    }
-
-    /// Invariant-auditor findings (empty on a healthy run, and always empty
-    /// when the system does not support auditing or it is off). Quiesces
-    /// pending background work first, like [`FarMemory::trace_digest`].
-    fn audit_report(&mut self) -> Vec<String> {
-        Vec::new()
-    }
-
-    /// Handle to the system's metrics registry. Disabled (and empty) unless
-    /// the system was booted with [`SystemSpec::metrics`].
-    fn metrics(&self) -> MetricsRegistry {
-        MetricsRegistry::disabled()
-    }
-
-    /// Handle to the system's span profiler. Disabled unless the system was
-    /// booted with [`SystemSpec::metrics`].
-    fn profiler(&self) -> SpanProfiler {
-        SpanProfiler::disabled()
-    }
-
-    /// `(major, minor, zero_fill)` fault counts *as the event trace records
-    /// them*, for cross-checking trace-derived profiler counts against the
-    /// hand-maintained stats. AIFM only traces misses as major faults, so it
-    /// reports `(misses, 0, 0)` here even though [`FarMemory::fault_counts`]
-    /// exposes in-flight waits.
-    fn fault_counters(&self) -> (u64, u64, u64) {
-        (0, 0, 0)
-    }
-
-    /// Hand-maintained per-phase fault-latency sums `(label, ns)`, using the
-    /// same labels as the span profiler's phases. Empty for systems that do
-    /// not keep a phase breakdown.
-    fn phase_sums(&self) -> Vec<(&'static str, Ns)> {
-        Vec::new()
-    }
 
     /// Reads a little-endian `u64`.
     fn read_u64(&mut self, core: usize, va: u64) -> u64 {
@@ -142,6 +153,38 @@ pub trait FarMemory {
     }
 }
 
+impl Introspect for Dilos {
+    fn fault_counts(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.major_faults, s.minor_faults)
+    }
+    fn net_bytes(&self) -> (u64, u64) {
+        self.rdma().total_bytes()
+    }
+    fn as_dilos(&self) -> Option<&Dilos> {
+        Some(self)
+    }
+    fn trace_digest(&mut self) -> u64 {
+        Dilos::trace_digest(self)
+    }
+    fn audit_report(&mut self) -> Vec<String> {
+        Dilos::audit_report(self)
+    }
+    fn metrics(&self) -> MetricsRegistry {
+        Dilos::metrics(self).clone()
+    }
+    fn profiler(&self) -> SpanProfiler {
+        Dilos::profiler(self).clone()
+    }
+    fn fault_counters(&self) -> (u64, u64, u64) {
+        let s = self.stats();
+        (s.major_faults, s.minor_faults, s.zero_fills)
+    }
+    fn phase_sums(&self) -> Vec<(&'static str, Ns)> {
+        self.stats().breakdown.sums().to_vec()
+    }
+}
+
 impl FarMemory for Dilos {
     fn alloc(&mut self, len: usize) -> u64 {
         self.ddc_alloc(len)
@@ -175,34 +218,29 @@ impl FarMemory for Dilos {
         };
         format!("{} ({})", transport, self.prefetcher_name())
     }
+}
+
+impl Introspect for Fastswap {
     fn fault_counts(&self) -> (u64, u64) {
         let s = self.stats();
         (s.major_faults, s.minor_faults)
     }
     fn net_bytes(&self) -> (u64, u64) {
-        self.rdma().total_bytes()
-    }
-    fn as_dilos(&self) -> Option<&Dilos> {
-        Some(self)
+        let bw = self.rdma().fabric().bandwidth();
+        (bw.total_tx(), bw.total_rx())
     }
     fn trace_digest(&mut self) -> u64 {
-        Dilos::trace_digest(self)
-    }
-    fn audit_report(&mut self) -> Vec<String> {
-        Dilos::audit_report(self)
+        Fastswap::trace_digest(self)
     }
     fn metrics(&self) -> MetricsRegistry {
-        Dilos::metrics(self).clone()
+        Fastswap::metrics(self).clone()
     }
     fn profiler(&self) -> SpanProfiler {
-        Dilos::profiler(self).clone()
+        Fastswap::profiler(self).clone()
     }
     fn fault_counters(&self) -> (u64, u64, u64) {
         let s = self.stats();
         (s.major_faults, s.minor_faults, s.zero_fills)
-    }
-    fn phase_sums(&self) -> Vec<(&'static str, Ns)> {
-        self.stats().breakdown.sums().to_vec()
     }
 }
 
@@ -234,26 +272,30 @@ impl FarMemory for Fastswap {
     fn label(&self) -> String {
         "Fastswap".to_string()
     }
+}
+
+impl Introspect for Aifm {
     fn fault_counts(&self) -> (u64, u64) {
         let s = self.stats();
-        (s.major_faults, s.minor_faults)
+        (s.misses, s.inflight_waits)
     }
     fn net_bytes(&self) -> (u64, u64) {
         let bw = self.rdma().fabric().bandwidth();
         (bw.total_tx(), bw.total_rx())
     }
     fn trace_digest(&mut self) -> u64 {
-        Fastswap::trace_digest(self)
+        Aifm::trace_digest(self)
     }
     fn metrics(&self) -> MetricsRegistry {
-        Fastswap::metrics(self).clone()
+        Aifm::metrics(self).clone()
     }
     fn profiler(&self) -> SpanProfiler {
-        Fastswap::profiler(self).clone()
+        Aifm::profiler(self).clone()
     }
     fn fault_counters(&self) -> (u64, u64, u64) {
-        let s = self.stats();
-        (s.major_faults, s.minor_faults, s.zero_fills)
+        // AIFM's trace only marks demand misses as faults; in-flight waits
+        // are spin-waits without a fault span.
+        (self.stats().misses, 0, 0)
     }
 }
 
@@ -284,28 +326,6 @@ impl FarMemory for Aifm {
     }
     fn label(&self) -> String {
         "AIFM".to_string()
-    }
-    fn fault_counts(&self) -> (u64, u64) {
-        let s = self.stats();
-        (s.misses, s.inflight_waits)
-    }
-    fn net_bytes(&self) -> (u64, u64) {
-        let bw = self.rdma().fabric().bandwidth();
-        (bw.total_tx(), bw.total_rx())
-    }
-    fn trace_digest(&mut self) -> u64 {
-        Aifm::trace_digest(self)
-    }
-    fn metrics(&self) -> MetricsRegistry {
-        Aifm::metrics(self).clone()
-    }
-    fn profiler(&self) -> SpanProfiler {
-        Aifm::profiler(self).clone()
-    }
-    fn fault_counters(&self) -> (u64, u64, u64) {
-        // AIFM's trace only marks demand misses as faults; in-flight waits
-        // are spin-waits without a fault span.
-        (self.stats().misses, 0, 0)
     }
 }
 
@@ -361,15 +381,11 @@ pub struct SystemSpec {
     pub remote_bytes: u64,
     /// Simulated cores.
     pub cores: usize,
-    /// Record a structured event trace; read it via
-    /// [`FarMemory::trace_digest`].
-    pub trace: bool,
-    /// Attach the invariant auditor (DiLOS only; implies `trace`); collect
-    /// findings via [`FarMemory::audit_report`].
-    pub audit: bool,
-    /// Record metrics and profiler spans (implies `trace`); read them via
-    /// [`FarMemory::metrics`] and [`FarMemory::profiler`].
-    pub metrics: bool,
+    /// The observability bundle handed to the booted system — tracing,
+    /// auditing (DiLOS only), metrics, and the span profiler travel
+    /// together. Read results back via [`Introspect`]. Use a fresh bundle
+    /// per boot; sharing one across systems interleaves their traces.
+    pub obs: Observability,
 }
 
 impl SystemSpec {
@@ -384,48 +400,32 @@ impl SystemSpec {
             // Headroom for allocator metadata and rounding.
             remote_bytes: (working_set * 2).next_power_of_two().max(1 << 24),
             cores: 1,
-            trace: false,
-            audit: false,
-            metrics: false,
+            obs: Observability::none(),
         }
     }
 
-    /// Enables event tracing on the booted system.
-    pub fn with_trace(mut self) -> Self {
-        self.trace = true;
+    /// Replaces the observability bundle (builder-style convenience for
+    /// sweep loops that share a base spec).
+    pub fn observed(mut self, obs: Observability) -> Self {
+        self.obs = obs;
         self
     }
 
-    /// Enables the invariant auditor (and tracing) on the booted system.
-    pub fn with_audit(mut self) -> Self {
-        self.trace = true;
-        self.audit = true;
-        self
-    }
-
-    /// Enables the metrics registry and span profiler on the booted system.
-    pub fn with_metrics(mut self) -> Self {
-        self.metrics = true;
-        self
-    }
-
-    /// Boots the system.
+    /// Boots the system, handing it the spec's [`Observability`] bundle.
     pub fn boot(&self) -> Box<dyn FarMemory> {
         match self.kind {
             SystemKind::Fastswap => Box::new(Fastswap::new(FastswapConfig {
                 local_pages: self.local_pages,
                 remote_bytes: self.remote_bytes,
                 cores: self.cores,
-                trace: self.trace,
-                metrics: self.metrics,
+                obs: self.obs.clone(),
                 ..FastswapConfig::default()
             })),
             SystemKind::Aifm => Box::new(Aifm::new(AifmConfig {
                 local_chunks: self.local_pages,
                 remote_bytes: self.remote_bytes,
                 cores: self.cores,
-                trace: self.trace,
-                metrics: self.metrics,
+                obs: self.obs.clone(),
                 ..AifmConfig::default()
             })),
             kind => {
@@ -434,9 +434,7 @@ impl SystemSpec {
                     remote_bytes: self.remote_bytes,
                     cores: self.cores,
                     tcp_mode: kind == SystemKind::DilosTcp,
-                    trace: self.trace,
-                    audit: self.audit,
-                    metrics: self.metrics,
+                    obs: self.obs.clone(),
                     ..DilosConfig::default()
                 });
                 match kind {

@@ -24,4 +24,4 @@ pub mod redis;
 pub mod seqrw;
 pub mod snappy;
 
-pub use farmem::{FarArray, FarMemory, SystemKind, SystemSpec};
+pub use farmem::{FarArray, FarMemory, Introspect, SystemKind, SystemSpec};

@@ -21,8 +21,8 @@
 use std::collections::BTreeMap;
 
 use dilos_sim::{
-    Calendar, CoreClock, EventId, FaultKind, MetricsRegistry, Ns, RdmaEndpoint, SchedEvent,
-    ServiceClass, SimConfig, SpanProfiler, TraceEvent, TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, EventId, FaultKind, MetricsRegistry, Ns, Observability, RdmaEndpoint,
+    SchedEvent, ServiceClass, SimConfig, SpanProfiler, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 /// AIFM runtime costs, in virtual nanoseconds.
@@ -64,13 +64,11 @@ pub struct AifmConfig {
     pub prefetch_depth: usize,
     /// Use TCP (AIFM's transport; adds the per-completion handicap).
     pub tcp: bool,
-    /// Record a structured event trace (see [`Aifm::trace`] /
-    /// [`Aifm::trace_digest`]).
-    pub trace: bool,
-    /// Record telemetry (implies `trace`): counters/gauges in a
-    /// [`MetricsRegistry`] and folded spans in a [`SpanProfiler`]. Pure
-    /// observation — trace digests are identical with this on or off.
-    pub metrics: bool,
+    /// The observability bundle (trace + metrics + profiler) threaded to
+    /// every component at boot. Pure observation — trace digests are
+    /// identical whether metrics are on or off. Use a fresh bundle per
+    /// booted node.
+    pub obs: Observability,
 }
 
 impl Default for AifmConfig {
@@ -83,8 +81,7 @@ impl Default for AifmConfig {
             costs: AifmCosts::default(),
             prefetch_depth: 16,
             tcp: true,
-            trace: false,
-            metrics: false,
+            obs: Observability::none(),
         }
     }
 }
@@ -145,11 +142,11 @@ pub struct Aifm {
     /// Pending `PrefetchLand` event per streamed-but-unlanded chunk, so a
     /// consuming dereference (or a free) can cancel the landing.
     pending_land: BTreeMap<u64, EventId>,
-    /// Structured event trace (dark unless `cfg.trace`).
+    /// Structured event trace (dark unless the bundle records).
     trace: TraceSink,
-    /// Telemetry registry (dark unless `cfg.metrics`).
+    /// Telemetry registry (dark unless the bundle is metered).
     metrics: MetricsRegistry,
-    /// Span profiler attached to the trace (dark unless `cfg.metrics`).
+    /// Span profiler attached to the trace (dark unless metered).
     profiler: SpanProfiler,
 }
 
@@ -173,19 +170,11 @@ impl Aifm {
         assert!(cfg.local_chunks >= 16, "cache too small");
         let mut rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
         rdma.set_tcp_mode(cfg.tcp);
-        let trace = if cfg.trace || cfg.metrics {
-            TraceSink::recording()
-        } else {
-            TraceSink::disabled()
-        };
-        rdma.set_trace(trace.clone());
-        let (metrics, profiler) = if cfg.metrics {
-            (MetricsRegistry::recording(), SpanProfiler::recording())
-        } else {
-            (MetricsRegistry::disabled(), SpanProfiler::disabled())
-        };
-        profiler.attach_to(&trace);
-        rdma.set_metrics(metrics.clone());
+        let obs = cfg.obs.clone();
+        let trace = obs.trace().clone();
+        let metrics = obs.metrics().clone();
+        let profiler = obs.profiler().clone();
+        rdma.observe(&obs);
         let cal = Calendar::new();
         cal.set_metrics(metrics.clone());
         rdma.set_calendar(cal.clone());
@@ -220,17 +209,17 @@ impl Aifm {
         &self.rdma
     }
 
-    /// The structured event trace (dark unless [`AifmConfig::trace`]).
+    /// The structured event trace (dark unless [`AifmConfig::obs`] records).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
     }
 
-    /// The telemetry registry (dark unless [`AifmConfig::metrics`]).
+    /// The telemetry registry (dark unless [`AifmConfig::obs`] is metered).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
 
-    /// The span profiler (dark unless [`AifmConfig::metrics`]).
+    /// The span profiler (dark unless [`AifmConfig::obs`] is metered).
     pub fn profiler(&self) -> &SpanProfiler {
         &self.profiler
     }

@@ -17,8 +17,8 @@
 use std::collections::BTreeMap;
 
 use dilos_sim::{
-    Calendar, CoreClock, FaultKind, LruChain, MetricsRegistry, Ns, RdmaEndpoint, SchedEvent,
-    ServiceClass, SimConfig, SpanProfiler, Timeline, TraceEvent, TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, FaultKind, LruChain, MetricsRegistry, Ns, Observability, RdmaEndpoint,
+    SchedEvent, ServiceClass, SimConfig, SpanProfiler, Timeline, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 /// Fastswap software costs, in virtual nanoseconds.
@@ -82,13 +82,11 @@ pub struct FastswapConfig {
     pub costs: FastswapCosts,
     /// Readahead cluster size (Linux `page-cluster` default: 8 pages).
     pub readahead_cluster: usize,
-    /// Record a structured event trace (see [`Fastswap::trace`] /
-    /// [`Fastswap::trace_digest`]).
-    pub trace: bool,
-    /// Record telemetry (implies `trace`): counters/gauges in a
-    /// [`MetricsRegistry`] and folded spans in a [`SpanProfiler`]. Pure
-    /// observation — trace digests are identical with this on or off.
-    pub metrics: bool,
+    /// The observability bundle (trace + metrics + profiler) threaded to
+    /// every component at boot. Pure observation — trace digests are
+    /// identical whether metrics are on or off. Use a fresh bundle per
+    /// booted node.
+    pub obs: Observability,
 }
 
 impl Default for FastswapConfig {
@@ -100,8 +98,7 @@ impl Default for FastswapConfig {
             sim: SimConfig::default(),
             costs: FastswapCosts::default(),
             readahead_cluster: 8,
-            trace: false,
-            metrics: false,
+            obs: Observability::none(),
         }
     }
 }
@@ -212,11 +209,11 @@ pub struct Fastswap {
     reclaim_round: u32,
     stats: FastswapStats,
     brk: u64,
-    /// Structured event trace (dark unless `cfg.trace`).
+    /// Structured event trace (dark unless the bundle records).
     trace: TraceSink,
-    /// Telemetry registry (dark unless `cfg.metrics`).
+    /// Telemetry registry (dark unless the bundle is metered).
     metrics: MetricsRegistry,
-    /// Span profiler attached to the trace (dark unless `cfg.metrics`).
+    /// Span profiler attached to the trace (dark unless metered).
     profiler: SpanProfiler,
 }
 
@@ -241,24 +238,16 @@ impl Fastswap {
         assert!(cfg.cores > 0, "at least one core");
         assert!(cfg.local_pages >= 16, "cache too small for the cluster");
         let mut rdma = RdmaEndpoint::connect(cfg.sim.clone(), cfg.remote_bytes);
-        let trace = if cfg.trace || cfg.metrics {
-            TraceSink::recording()
-        } else {
-            TraceSink::disabled()
-        };
-        rdma.set_trace(trace.clone());
-        let (metrics, profiler) = if cfg.metrics {
-            (MetricsRegistry::recording(), SpanProfiler::recording())
-        } else {
-            (MetricsRegistry::disabled(), SpanProfiler::disabled())
-        };
-        profiler.attach_to(&trace);
-        rdma.set_metrics(metrics.clone());
+        let obs = cfg.obs.clone();
+        let trace = obs.trace().clone();
+        let metrics = obs.metrics().clone();
+        let profiler = obs.profiler().clone();
+        rdma.observe(&obs);
         let cal = Calendar::new();
         cal.set_metrics(metrics.clone());
         rdma.set_calendar(cal.clone());
         let mut lru = LruChain::new();
-        lru.set_metrics(metrics.clone());
+        lru.observe(&obs);
         Self {
             rdma,
             trace,
@@ -291,17 +280,17 @@ impl Fastswap {
         &self.rdma
     }
 
-    /// The structured event trace (dark unless [`FastswapConfig::trace`]).
+    /// The structured event trace (dark unless [`FastswapConfig::obs`] records).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
     }
 
-    /// The telemetry registry (dark unless [`FastswapConfig::metrics`]).
+    /// The telemetry registry (dark unless [`FastswapConfig::obs`] is metered).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
 
-    /// The span profiler (dark unless [`FastswapConfig::metrics`]).
+    /// The span profiler (dark unless [`FastswapConfig::obs`] is metered).
     pub fn profiler(&self) -> &SpanProfiler {
         &self.profiler
     }

@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dilos_alloc::Heap;
-use dilos_apps::farmem::FarMemory;
+use dilos_apps::farmem::Introspect;
 use dilos_apps::seqrw::SeqWorkload;
 use dilos_core::{Dilos, DilosConfig, HeapPagingGuide, Readahead};
 
@@ -184,7 +184,7 @@ pub fn ablation_vector_length(pages: usize) -> Report {
             Dilos::read(&mut node, 0, va, &mut buf);
         }
         let elapsed = node.now(0) - t0;
-        let (_, rx) = FarMemory::net_bytes(&node);
+        let (_, rx) = Introspect::net_bytes(&node);
         report.row(vec![
             cap.to_string(),
             us(elapsed),

@@ -7,12 +7,14 @@
 //! ```
 //!
 //! Ids: fig01 fig02 fig06 tab01 tab02 tab03 fig07a fig07b fig07cd fig08
-//! fig09 fig10 tab04 fig12 ablation (`tab03` is an alias for `tab01` —
-//! both tables come from the same fault-count run). `--only` accepts any
-//! number of ids. Default writes reports to `results/` and prints them;
-//! `--full` runs larger (slower) configurations. Alongside the per-id
-//! markdown, a machine-readable `bench.json` maps each experiment id that
-//! ran to its measured rows, notes, and trace digests. `--metrics` also
+//! fig09 fig10 tab04 fig12 ablation serve (`tab03` is an alias for
+//! `tab01` — both tables come from the same fault-count run). `--only`
+//! accepts any number of ids. Default writes reports to `results/` and
+//! prints them; `--full` runs larger (slower) configurations. Alongside
+//! the per-id markdown, a machine-readable `bench.json` maps each
+//! experiment id that ran to its measured rows, notes, and trace digests;
+//! `serve` additionally writes its own byte-stable `serve.json` (the CI
+//! determinism gate compares two fresh runs of it). `--metrics` also
 //! runs the metered tab01 systems and writes `metrics.json`,
 //! `timeseries.json`, and `profile.folded` to the output directory.
 
@@ -27,6 +29,7 @@ use dilos_bench::micro::{
     tab01_tab03_fault_counts, tab02_seq_throughput, MicroScale,
 };
 use dilos_bench::redis_exp::{fig10_redis, fig12_bandwidth, tab04_tail_latency, RedisScale};
+use dilos_bench::serve::{serve_qos, ServeScale};
 use dilos_bench::Report;
 
 fn main() {
@@ -91,6 +94,15 @@ fn main() {
     } else {
         RedisScale::default()
     };
+    let serve = if full {
+        ServeScale {
+            victim_requests: 2_000,
+            victim_mean_ns: 50_000,
+            noisy_requests: 600,
+        }
+    } else {
+        ServeScale::default()
+    };
     let taxi_rows = if full { 60_000 } else { 16_000 };
     let graph_scale = if full { 13 } else { 11 };
     let fig12_keys = if full { 16_384 } else { 4_096 };
@@ -113,6 +125,7 @@ fn main() {
             "fig12",
             Box::new(move || fig12_bandwidth(fig12_keys, 2_000)),
         ),
+        ("serve", Box::new(move || serve_qos(serve))),
         (
             "ablation",
             Box::new(move || {
@@ -155,6 +168,12 @@ fn main() {
         combined.push('\n');
         let path = format!("{out_dir}/{id}.md");
         std::fs::write(&path, &rendered).expect("write report");
+        if id == "serve" {
+            // The serving table gets its own byte-stable artifact so the
+            // CI determinism gate can `cmp` two fresh runs of just it.
+            std::fs::write(format!("{out_dir}/serve.json"), report.to_json())
+                .expect("write serve.json");
+        }
         json_entries.push(format!("  \"{id}\": {}", report.to_json()));
     }
     let mut f = std::fs::File::create(format!("{out_dir}/all.md")).expect("create all.md");

@@ -8,8 +8,10 @@
 
 pub mod ablation;
 pub mod apps_exp;
+pub mod loadgen;
 pub mod micro;
 pub mod redis_exp;
+pub mod serve;
 pub mod table;
 pub mod telemetry;
 

@@ -3,7 +3,7 @@
 use dilos_apps::farmem::{SystemKind, SystemSpec};
 use dilos_apps::seqrw::SeqWorkload;
 use dilos_baselines::{Fastswap, FastswapConfig};
-use dilos_sim::{RdmaEndpoint, ServiceClass, SimConfig, PAGE_SIZE};
+use dilos_sim::{Observability, RdmaEndpoint, ServiceClass, SimConfig, PAGE_SIZE};
 
 use crate::table::{f2, us, Report};
 
@@ -29,10 +29,15 @@ impl Default for MicroScale {
 fn fastswap_at(pages: usize, ratio: u32, offload_percent: u32, traced: bool) -> Fastswap {
     let ws = (pages * PAGE_SIZE) as u64;
     let local_pages = ((pages as u64 * ratio as u64) / 100).max(32) as usize;
+    let obs = if traced {
+        Observability::tracing()
+    } else {
+        Observability::none()
+    };
     let mut cfg = FastswapConfig {
         local_pages,
         remote_bytes: (ws * 2).next_power_of_two().max(1 << 24),
-        trace: traced,
+        obs,
         ..FastswapConfig::default()
     };
     cfg.costs.offload_percent = offload_percent;
@@ -131,7 +136,7 @@ pub fn tab01_tab03_fault_counts(scale: MicroScale) -> Report {
         // Audited boot: the run doubles as an invariant check, and the
         // digest pins the exact event stream this table was computed from.
         let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio)
-            .with_audit()
+            .observed(Observability::audited())
             .boot();
         let wl = SeqWorkload { pages: scale.pages };
         let base = wl.populate(mem.as_mut());
@@ -189,12 +194,12 @@ pub fn tab02_seq_throughput(scale: MicroScale) -> Report {
         let ws = (scale.pages * PAGE_SIZE) as u64;
         let wl = SeqWorkload { pages: scale.pages };
         let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio)
-            .with_trace()
+            .observed(Observability::tracing())
             .boot();
         let base = wl.populate(mem.as_mut());
         let r = wl.read_pass(mem.as_mut(), base);
         let mut mem2 = SystemSpec::for_working_set(kind, ws, scale.ratio)
-            .with_trace()
+            .observed(Observability::tracing())
             .boot();
         let base2 = wl.populate(mem2.as_mut());
         let w = wl.write_pass(mem2.as_mut(), base2);

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 
 use dilos_apps::farmem::{SystemKind, SystemSpec};
 use dilos_apps::seqrw::SeqWorkload;
-use dilos_sim::PAGE_SIZE;
+use dilos_sim::{Observability, PAGE_SIZE};
 
 use crate::table::{us, Report};
 
@@ -69,7 +69,7 @@ pub fn collect(scale: crate::micro::MicroScale) -> Vec<SystemTelemetry> {
     let mut out = Vec::new();
     for (id, kind) in METERED {
         let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio)
-            .with_metrics()
+            .observed(Observability::metered())
             .boot();
         let base = wl.populate(mem.as_mut());
         wl.read_pass(mem.as_mut(), base);

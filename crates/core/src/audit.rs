@@ -67,6 +67,11 @@ pub struct Auditor {
     allocated: BTreeSet<u32>,
     allocs: u64,
     frees: u64,
+    /// Per-tenant frame-conservation bound: the node's local-frame quota.
+    /// When set, holding more frames than this at any instant is flagged —
+    /// in a shared cluster it means one tenant is eating a neighbour's
+    /// local memory.
+    frame_quota: Option<usize>,
 
     outstanding: BTreeSet<u64>,
     issues: u64,
@@ -137,6 +142,13 @@ impl Auditor {
     /// Frames currently allocated according to the trace.
     pub fn frames_in_use(&self) -> usize {
         self.allocated.len()
+    }
+
+    /// Arms the per-tenant frame-conservation invariant: the set of live
+    /// frames must never exceed `quota` (the tenant's local-memory
+    /// allotment).
+    pub fn set_frame_quota(&mut self, quota: usize) {
+        self.frame_quota = Some(quota);
     }
 
     /// `(allocs, frees)` observed so far.
@@ -336,6 +348,17 @@ impl TraceObserver for Auditor {
                         format!("frame {frame} allocated while already allocated"),
                     );
                 }
+                if let Some(quota) = self.frame_quota {
+                    if self.allocated.len() > quota {
+                        self.flag(
+                            t,
+                            format!(
+                                "frame quota exceeded: {} frames live, quota {quota}",
+                                self.allocated.len()
+                            ),
+                        );
+                    }
+                }
             }
             TraceEvent::FrameFree { frame } => {
                 self.frees += 1;
@@ -421,6 +444,33 @@ mod tests {
         assert!(a.borrow().is_clean(), "{:?}", a.borrow().violations());
         assert_eq!(a.borrow().frames_in_use(), 0);
         assert_eq!(a.borrow().frame_flow(), (1, 1));
+    }
+
+    #[test]
+    fn frame_quota_violation_is_flagged() {
+        let s = TraceSink::recording();
+        let mut auditor = Auditor::new();
+        auditor.set_frame_quota(2);
+        let a = Rc::new(RefCell::new(auditor));
+        s.attach(a.clone());
+        s.emit(1, TraceEvent::FrameAlloc { frame: 0 });
+        s.emit(2, TraceEvent::FrameAlloc { frame: 1 });
+        assert!(a.borrow().is_clean(), "within quota is clean");
+        s.emit(3, TraceEvent::FrameAlloc { frame: 2 });
+        {
+            let a = a.borrow();
+            assert_eq!(a.violation_count(), 1);
+            assert!(
+                a.violations()[0].contains("frame quota exceeded: 3 frames live, quota 2"),
+                "{:?}",
+                a.violations()
+            );
+        }
+        // Dropping back under quota and re-allocating stays clean.
+        s.emit(4, TraceEvent::FrameFree { frame: 2 });
+        s.emit(5, TraceEvent::FrameFree { frame: 1 });
+        s.emit(6, TraceEvent::FrameAlloc { frame: 1 });
+        assert_eq!(a.borrow().violation_count(), 1);
     }
 
     #[test]

@@ -22,12 +22,15 @@
 //! - [`compat`] — the **compatibility layer** (§5): DDC API surface and the
 //!   ELF symbol patcher model.
 //! - [`frames`], [`stats`] — the local frame cache and measurement hooks.
+//! - [`cluster`] — the multi-tenant serving cluster: N nodes on one shared
+//!   memory pool with QoS arbitration (bandwidth shares + local quotas).
 //!
 //! The node runs against the `dilos-sim` virtual-time substrate, so every
 //! latency it reports is deterministic and calibrated to the paper's
 //! testbed. See the workspace DESIGN.md for the substitution ledger.
 
 pub mod audit;
+pub mod cluster;
 pub mod compat;
 pub mod frames;
 pub mod guide;
@@ -38,6 +41,7 @@ pub mod pt;
 pub mod stats;
 
 pub use audit::{legal_pte_transition, Auditor};
+pub use cluster::{ClusterConfig, ServingCluster, TenantSpec, LANES_PER_TENANT};
 pub use compat::{PatchReport, SymbolKind, SymbolPatcher, SymbolTable, MAP_DDC};
 pub use guide::{ActionTable, FetchVector, GuideOps, HeapPagingGuide, PagingGuide, PrefetchGuide};
 pub use node::{Dilos, DilosConfig, SoftCosts, DDC_BASE, LOCAL_BASE};

@@ -25,9 +25,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dilos_sim::{
-    Calendar, CoreClock, EventId, FaultKind, FaultPhase, MetricsRegistry, Ns, PteClass,
-    RdmaEndpoint, SchedEvent, Segment, ServiceClass, SimConfig, SpanProfiler, TraceEvent,
-    TraceSink, PAGE_SIZE,
+    Calendar, CoreClock, EventId, FaultKind, FaultPhase, MetricsRegistry, Ns, Observability,
+    PteClass, RdmaEndpoint, RdmaPort, SchedEvent, Segment, ServiceClass, SimConfig, SpanProfiler,
+    TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 use crate::audit::Auditor;
@@ -128,18 +128,11 @@ pub struct DilosConfig {
     /// Carbink-style erasure coding `(k, m)` across the pool; overrides
     /// `replication` when set (requires `memory_nodes ≥ k + m`).
     pub erasure: Option<(usize, usize)>,
-    /// Record a structured event trace of the run (faults, verbs, frames,
-    /// PTE transitions); read it back via [`Dilos::trace`] /
-    /// [`Dilos::trace_digest`].
-    pub trace: bool,
-    /// Attach the online invariant [`Auditor`] to the trace (implies
-    /// `trace`); collect findings via [`Dilos::audit_report`].
-    pub audit: bool,
-    /// Record telemetry (implies `trace`): component counters and sampled
-    /// gauges in a [`MetricsRegistry`], and a [`SpanProfiler`] folding the
-    /// trace into flamegraph stacks. Pure observation — trace digests are
-    /// identical with this on or off.
-    pub metrics: bool,
+    /// The observability bundle: trace sink, metrics registry, span
+    /// profiler, and audit flag, built once via [`Observability`]'s
+    /// constructors and threaded down to every component. Pure observation
+    /// — trace digests are identical with metrics on or off.
+    pub obs: Observability,
 }
 
 impl Default for DilosConfig {
@@ -158,9 +151,7 @@ impl Default for DilosConfig {
             memory_nodes: 1,
             replication: 1,
             erasure: None,
-            trace: false,
-            audit: false,
-            metrics: false,
+            obs: Observability::none(),
         }
     }
 }
@@ -192,7 +183,8 @@ const TLB_WAYS: usize = 64;
 /// A DiLOS compute node.
 pub struct Dilos {
     cfg: DilosConfig,
-    rdma: RdmaEndpoint,
+    /// The node's capability to its (exclusive or shared) RDMA endpoint.
+    rdma: RdmaPort,
     pt: PageTable,
     frames: FrameArena,
     ring: ResidentRing,
@@ -264,11 +256,6 @@ impl Dilos {
     ///
     /// Panics if the configuration is degenerate (no cores, no local pages).
     pub fn new(cfg: DilosConfig) -> Self {
-        assert!(cfg.cores > 0, "at least one core");
-        assert!(
-            cfg.local_pages >= 16,
-            "local cache below 16 pages cannot hold the prefetch window"
-        );
         let mut rdma = match cfg.erasure {
             Some((k, m)) => {
                 RdmaEndpoint::connect_ec(cfg.sim.clone(), cfg.remote_bytes, cfg.memory_nodes, k, m)
@@ -282,28 +269,40 @@ impl Dilos {
         };
         rdma.set_shared_queue(cfg.shared_queue);
         rdma.set_tcp_mode(cfg.tcp_mode);
-        let trace = if cfg.trace || cfg.audit || cfg.metrics {
-            TraceSink::recording()
-        } else {
-            TraceSink::disabled()
-        };
-        rdma.set_trace(trace.clone());
-        let audit = if cfg.audit {
-            let a = Rc::new(RefCell::new(Auditor::new()));
+        Self::boot(cfg, RdmaPort::exclusive(rdma))
+    }
+
+    /// Boots a node as one tenant of a shared memory pool: the port carries
+    /// the tenant's protection keys, remote-address base, and queue-pair
+    /// lanes on an endpoint other tenants also use. Transport-level config
+    /// knobs (`shared_queue`, `tcp_mode`, `memory_nodes`, `replication`,
+    /// `erasure`) are properties of the shared endpoint and are ignored
+    /// here; `remote_bytes` must be the tenant's slice size.
+    pub fn with_port(cfg: DilosConfig, port: RdmaPort) -> Self {
+        Self::boot(cfg, port)
+    }
+
+    fn boot(cfg: DilosConfig, mut rdma: RdmaPort) -> Self {
+        assert!(cfg.cores > 0, "at least one core");
+        assert!(
+            cfg.local_pages >= 16,
+            "local cache below 16 pages cannot hold the prefetch window"
+        );
+        let obs = cfg.obs.clone();
+        let trace = obs.trace().clone();
+        let audit = if obs.audit() {
+            let mut auditor = Auditor::new();
+            auditor.set_frame_quota(cfg.local_pages);
+            let a = Rc::new(RefCell::new(auditor));
             trace.attach(a.clone());
             Some(a)
         } else {
             None
         };
-        let (metrics, profiler) = if cfg.metrics {
-            (MetricsRegistry::recording(), SpanProfiler::recording())
-        } else {
-            (MetricsRegistry::disabled(), SpanProfiler::disabled())
-        };
-        profiler.attach_to(&trace);
-        rdma.set_metrics(metrics.clone());
+        let metrics = obs.metrics().clone();
+        let profiler = obs.profiler().clone();
         let mut lru = dilos_sim::LruChain::new();
-        lru.set_metrics(metrics.clone());
+        lru.observe(&obs);
         let mut frames = FrameArena::new(cfg.local_pages);
         frames.set_trace(trace.clone());
         let wm = Watermarks::for_cache(cfg.local_pages);
@@ -312,7 +311,7 @@ impl Dilos {
         // reclaim ticks, and writebacks) whenever virtual time passes them.
         let cal = Calendar::new();
         cal.set_metrics(metrics.clone());
-        rdma.set_calendar(cal.clone());
+        rdma.bind(obs, cal.clone());
         Self {
             frames,
             rdma,
@@ -399,8 +398,14 @@ impl Dilos {
         &self.stats
     }
 
-    /// The RDMA endpoint (bandwidth series, op counters).
-    pub fn rdma(&self) -> &RdmaEndpoint {
+    /// The RDMA endpoint (bandwidth series, op counters). In a shared-pool
+    /// boot this is the whole shared endpoint, not a tenant-scoped view.
+    pub fn rdma(&self) -> std::cell::Ref<'_, RdmaEndpoint> {
+        self.rdma.endpoint()
+    }
+
+    /// The node's port on the endpoint (tenant-scoped accounting).
+    pub fn port(&self) -> &RdmaPort {
         &self.rdma
     }
 
@@ -1398,7 +1403,7 @@ impl Dilos {
         self.metrics
             .set_gauge("busy_qps", self.rdma.busy_qps(t) as u64);
         self.metrics
-            .set_gauge("link_busy_ns", self.rdma.fabric().link_busy());
+            .set_gauge("link_busy_ns", self.rdma.link_busy());
         self.metrics.record_sample(t);
     }
 
@@ -1772,7 +1777,7 @@ mod tests {
         let mut node = Dilos::new(DilosConfig {
             local_pages: 32,
             remote_bytes: 1 << 24,
-            audit: true,
+            obs: dilos_sim::Observability::audited(),
             ..DilosConfig::default()
         });
         node.set_prefetcher(Box::new(Readahead::new()));

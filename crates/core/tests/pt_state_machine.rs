@@ -70,7 +70,7 @@ proptest! {
         let mut node = Dilos::new(DilosConfig {
             local_pages,
             remote_bytes: (REGION as u64 * 2).next_power_of_two(),
-            audit: true,
+            obs: dilos_sim::Observability::audited(),
             ..DilosConfig::default()
         });
         node.set_prefetcher(prefetcher(pf));

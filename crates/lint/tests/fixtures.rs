@@ -157,6 +157,38 @@ fn metrics_shaped_code_trips_r1_and_r2_in_the_core() {
     );
 }
 
+/// A cluster-arbiter shaped snippet: splitting the frame pool by iterating
+/// a `HashMap` keyed by tenant id and stamping the decision with host time
+/// is exactly the multi-tenant arbitration code R1 and R2 must keep out of
+/// the shared-fabric core — tenant order decides who gets the remainder.
+#[test]
+fn cluster_arbitration_code_trips_r1_and_r2_in_the_core() {
+    let src = include_str!("fixtures/cluster_violating.rs");
+    let file = "crates/sim/src/cluster.rs";
+    let r = lint_source(file, src);
+    assert_violations(
+        &r,
+        file,
+        &[
+            ("R1", "no-wall-clock", 9),
+            ("R2", "no-hash-iteration", 10),
+            ("R2", "no-hash-iteration", 12),
+        ],
+    );
+    // Out of scope in the bench harness, where host time and unordered
+    // maps are someone else's policy.
+    clean(
+        &lint_source("crates/bench/src/loadgen.rs", src),
+        "crates/bench/src/loadgen.rs",
+    );
+    // The BTreeMap-keyed, virtual-timestamp arbiter is clean in the core.
+    let file = "crates/sim/src/cluster.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/cluster_clean.rs")),
+        file,
+    );
+}
+
 #[test]
 fn suppression_shields_and_ledgers() {
     let file = "crates/core/src/sweep.rs";

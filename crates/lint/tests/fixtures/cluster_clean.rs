@@ -1,0 +1,16 @@
+use std::collections::BTreeMap;
+
+pub struct Arbiter {
+    shares: BTreeMap<u8, u32>,
+}
+
+impl Arbiter {
+    pub fn split(&self, pool: u32, now: u64) -> Vec<(u8, u32, u64)> {
+        let total: u32 = self.shares.values().sum();
+        let mut out = Vec::new();
+        for (tenant, share) in &self.shares {
+            out.push((*tenant, pool * share / total.max(1), now));
+        }
+        out
+    }
+}

@@ -1,0 +1,18 @@
+use std::collections::HashMap;
+
+pub struct Arbiter {
+    shares: HashMap<u8, u32>,
+}
+
+impl Arbiter {
+    pub fn split(&self, pool: u32) -> Vec<(u8, u32)> {
+        let epoch = std::time::Instant::now();
+        let total: u32 = self.shares.values().sum();
+        let mut out = Vec::new();
+        for (tenant, share) in self.shares.iter() {
+            out.push((*tenant, pool * share / total.max(1)));
+        }
+        let _ = epoch.elapsed();
+        out
+    }
+}

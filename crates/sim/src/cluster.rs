@@ -1,0 +1,334 @@
+//! Multi-tenant sharing of one RDMA endpoint / memory-node pool.
+//!
+//! The paper's evaluation boots exactly one compute node against the
+//! fabric. A serving rack does not: N app nodes contend for the same wire
+//! and the same memory pool (Clio, DRackSim). This module provides the
+//! sharing primitive: a [`SharedPool`] wraps one [`RdmaEndpoint`] —
+//! one link-occupancy model and one memory-node calendar — and hands each
+//! tenant an [`RdmaPort`], a capability carrying the tenant's protection
+//! keys (a registered sub-region per memory node), its remote-address
+//! base, and its own queue-pair lane range.
+//!
+//! Determinism: a port *activates* its tenant on the endpoint before every
+//! verb — installing that tenant's trace/metrics/calendar and protection
+//! keys — so interleaved verbs from different tenants each observe into
+//! their own streams while contending on the shared wire timelines. All
+//! tenant state is keyed by tenant id in `BTreeMap`s; nothing iterates in
+//! hash order. A single-tenant boot uses an *exclusive* port, which never
+//! activates and therefore leaves the endpoint byte-for-byte identical to
+//! the pre-cluster wiring (the tab01 digests pin this).
+
+use std::cell::{Ref, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::fabric::ServiceClass;
+use crate::obs::Observability;
+use crate::rdma::{RdmaEndpoint, RdmaError, Segment};
+use crate::sched::Calendar;
+use crate::time::Ns;
+
+/// A shared memory-node pool: one endpoint, many tenants.
+#[derive(Debug, Clone)]
+pub struct SharedPool {
+    ep: Rc<RefCell<RdmaEndpoint>>,
+}
+
+impl SharedPool {
+    /// Wraps a connected endpoint for sharing.
+    pub fn new(ep: RdmaEndpoint) -> Self {
+        Self {
+            ep: Rc::new(RefCell::new(ep)),
+        }
+    }
+
+    /// Registers tenant `tenant`'s remote slice `[base, base + bytes)` on
+    /// every memory node (per-tenant protection keys).
+    pub fn register_tenant(&self, tenant: u8, base: u64, bytes: u64) {
+        self.ep.borrow_mut().register_tenant(tenant, base, bytes);
+    }
+
+    /// Enables QoS bandwidth arbitration with per-tenant link weights.
+    pub fn set_qos(&self, shares: BTreeMap<u8, u32>) {
+        self.ep.borrow_mut().set_qos(shares);
+    }
+
+    /// Creates tenant `tenant`'s port. `base` is the tenant's remote-address
+    /// base (all verb addresses are offset by it) and `lane_base` the first
+    /// queue-pair lane of the tenant's core range — give each tenant a
+    /// disjoint range so tenants never share a QP, only the wire.
+    pub fn port(&self, tenant: u8, base: u64, lane_base: usize) -> RdmaPort {
+        RdmaPort {
+            ep: Rc::clone(&self.ep),
+            tenant,
+            base,
+            lane_base,
+            exclusive: false,
+            obs: Observability::none(),
+            cal: Calendar::new(),
+        }
+    }
+
+    /// Immutable view of the shared endpoint (reports and tests).
+    pub fn endpoint(&self) -> Ref<'_, RdmaEndpoint> {
+        self.ep.borrow()
+    }
+}
+
+/// A tenant's capability to the shared endpoint.
+///
+/// The port mirrors the endpoint's verb surface; each call activates the
+/// owning tenant (observability, calendar, protection keys) and forwards
+/// with the tenant's address base and lane base applied. An *exclusive*
+/// port (single-tenant boot) skips activation entirely and forwards
+/// verbatim — zero behavioural delta against the pre-cluster endpoint.
+#[derive(Debug, Clone)]
+pub struct RdmaPort {
+    ep: Rc<RefCell<RdmaEndpoint>>,
+    tenant: u8,
+    base: u64,
+    lane_base: usize,
+    exclusive: bool,
+    obs: Observability,
+    cal: Calendar,
+}
+
+impl RdmaPort {
+    /// Wraps `ep` as a single-tenant port owning the whole endpoint.
+    pub fn exclusive(ep: RdmaEndpoint) -> Self {
+        Self {
+            ep: Rc::new(RefCell::new(ep)),
+            tenant: 0,
+            base: 0,
+            lane_base: 0,
+            exclusive: true,
+            obs: Observability::none(),
+            cal: Calendar::new(),
+        }
+    }
+
+    /// Binds the owner's observability bundle and calendar. Called once at
+    /// node boot; an exclusive port installs both on the endpoint directly
+    /// (there is no activation to do it later).
+    pub fn bind(&mut self, obs: Observability, cal: Calendar) {
+        if self.exclusive {
+            let mut ep = self.ep.borrow_mut();
+            ep.observe(&obs);
+            ep.set_calendar(cal.clone());
+        }
+        self.obs = obs;
+        self.cal = cal;
+    }
+
+    /// The owning tenant's id.
+    pub fn tenant(&self) -> u8 {
+        self.tenant
+    }
+
+    /// Immutable view of the underlying endpoint.
+    pub fn endpoint(&self) -> Ref<'_, RdmaEndpoint> {
+        self.ep.borrow()
+    }
+
+    fn activate(&self) {
+        if !self.exclusive {
+            self.ep
+                .borrow_mut()
+                .activate_tenant(self.tenant, &self.obs, &self.cal);
+        }
+    }
+
+    /// Posts a one-sided read (tenant-relative `remote`).
+    pub fn read(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        remote: u64,
+        buf: &mut [u8],
+    ) -> Result<Ns, RdmaError> {
+        self.activate();
+        self.ep
+            .borrow_mut()
+            .read(now, self.lane_base + core, class, self.base + remote, buf)
+    }
+
+    /// Posts a one-sided write (tenant-relative `remote`).
+    pub fn write(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        remote: u64,
+        buf: &[u8],
+    ) -> Result<Ns, RdmaError> {
+        self.activate();
+        self.ep
+            .borrow_mut()
+            .write(now, self.lane_base + core, class, self.base + remote, buf)
+    }
+
+    /// Posts a vectored read; segment addresses are tenant-relative.
+    pub fn read_v(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        segments: &[Segment],
+        buf: &mut [u8],
+    ) -> Result<Ns, RdmaError> {
+        self.activate();
+        let core = self.lane_base + core;
+        let mut ep = self.ep.borrow_mut();
+        if self.base == 0 {
+            ep.read_v(now, core, class, segments, buf)
+        } else {
+            let shifted = self.shift(segments);
+            ep.read_v(now, core, class, &shifted, buf)
+        }
+    }
+
+    /// Posts a vectored write; segment addresses are tenant-relative.
+    pub fn write_v(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        segments: &[Segment],
+        buf: &[u8],
+    ) -> Result<Ns, RdmaError> {
+        self.activate();
+        let core = self.lane_base + core;
+        let mut ep = self.ep.borrow_mut();
+        if self.base == 0 {
+            ep.write_v(now, core, class, segments, buf)
+        } else {
+            let shifted = self.shift(segments);
+            ep.write_v(now, core, class, &shifted, buf)
+        }
+    }
+
+    fn shift(&self, segments: &[Segment]) -> Vec<Segment> {
+        segments
+            .iter()
+            .map(|s| Segment {
+                remote: self.base + s.remote,
+                ..*s
+            })
+            .collect()
+    }
+
+    /// Emits the deferred completion for a calendar-delivered
+    /// [`SchedEvent::RdmaCompletion`](crate::sched::SchedEvent::RdmaCompletion).
+    pub fn deliver_completion(&self, t: Ns, class: ServiceClass, write: bool, node: u8, core: u8) {
+        self.activate();
+        self.ep
+            .borrow()
+            .deliver_completion(t, class, write, node, core);
+    }
+
+    /// Wire bytes attributed to this port's tenant and `class`: `(tx, rx)`.
+    /// An exclusive port owns all traffic, so it reports the endpoint-wide
+    /// per-class totals.
+    pub fn class_bytes(&self, class: ServiceClass) -> (u64, u64) {
+        let ep = self.ep.borrow();
+        if self.exclusive {
+            ep.class_bytes(class)
+        } else {
+            ep.tenant_class_bytes(self.tenant, class)
+        }
+    }
+
+    /// Queue pairs still occupied at `now` (endpoint-wide gauge).
+    pub fn busy_qps(&self, now: Ns) -> usize {
+        self.ep.borrow().busy_qps(now)
+    }
+
+    /// Total link busy time of the primary node's fabric (endpoint-wide
+    /// gauge; the wire is shared).
+    pub fn link_busy(&self) -> Ns {
+        self.ep.borrow().fabric().link_busy()
+    }
+
+    /// Kills memory node `i` on the shared pool.
+    pub fn fail_node(&mut self, i: usize) {
+        self.ep.borrow_mut().fail_node(i);
+    }
+
+    /// Brings memory node `i` back online.
+    pub fn repair_node(&mut self, i: usize) {
+        self.ep.borrow_mut().repair_node(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::time::PAGE_SIZE;
+
+    #[test]
+    fn exclusive_port_forwards_verbatim() {
+        let mut direct = RdmaEndpoint::connect(SimConfig::default(), 1 << 24);
+        let mut port = RdmaPort::exclusive(RdmaEndpoint::connect(SimConfig::default(), 1 << 24));
+        let data = [0xABu8; PAGE_SIZE];
+        let mut buf = [0u8; PAGE_SIZE];
+        let d1 = direct.write(0, 1, ServiceClass::Cleaner, 4096, &data).ok();
+        let d2 = port.write(0, 1, ServiceClass::Cleaner, 4096, &data).ok();
+        assert_eq!(d1, d2);
+        let r1 = direct
+            .read(5_000, 1, ServiceClass::Fault, 4096, &mut buf)
+            .ok();
+        let r2 = port
+            .read(5_000, 1, ServiceClass::Fault, 4096, &mut buf)
+            .ok();
+        assert_eq!(r1, r2);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn tenant_ports_isolate_address_spaces() {
+        let pool = SharedPool::new(RdmaEndpoint::connect(SimConfig::default(), 1 << 24));
+        pool.register_tenant(0, 0, 1 << 23);
+        pool.register_tenant(1, 1 << 23, 1 << 23);
+        let mut a = pool.port(0, 0, 0);
+        let mut b = pool.port(1, 1 << 23, 8);
+        let pa = [0x0Au8; PAGE_SIZE];
+        let pb = [0x0Bu8; PAGE_SIZE];
+        a.write(0, 0, ServiceClass::Cleaner, 0, &pa).unwrap();
+        b.write(0, 0, ServiceClass::Cleaner, 0, &pb).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        a.read(10_000, 0, ServiceClass::Fault, 0, &mut buf).unwrap();
+        assert_eq!(buf, pa, "tenant 0 reads its own page at offset 0");
+        b.read(10_000, 0, ServiceClass::Fault, 0, &mut buf).unwrap();
+        assert_eq!(buf, pb, "tenant 1's offset 0 is a different page");
+    }
+
+    #[test]
+    fn tenant_port_cannot_reach_past_its_slice() {
+        let pool = SharedPool::new(RdmaEndpoint::connect(SimConfig::default(), 1 << 24));
+        pool.register_tenant(0, 0, 1 << 23);
+        let mut a = pool.port(0, 0, 0);
+        let mut buf = [0u8; PAGE_SIZE];
+        // Offset 1 << 23 is the first byte past tenant 0's slice: the
+        // protection key must reject it even though the pool has it.
+        let err = a.read(0, 0, ServiceClass::Fault, 1 << 23, &mut buf);
+        assert!(err.is_err(), "out-of-slice access must be rejected");
+    }
+
+    #[test]
+    fn tenants_contend_on_the_shared_wire() {
+        let pool = SharedPool::new(RdmaEndpoint::connect(SimConfig::default(), 1 << 24));
+        pool.register_tenant(0, 0, 1 << 23);
+        pool.register_tenant(1, 1 << 23, 1 << 23);
+        let mut a = pool.port(0, 0, 0);
+        let mut b = pool.port(1, 1 << 23, 8);
+        let mut buf = [0u8; PAGE_SIZE];
+        let w = pool.endpoint().fabric().cfg().wire_ns(PAGE_SIZE);
+        let da = a.read(0, 0, ServiceClass::Fault, 0, &mut buf).unwrap();
+        let db = b.read(0, 0, ServiceClass::Fault, 0, &mut buf).unwrap();
+        // Distinct QPs (disjoint lanes), one wire: the second read queues
+        // exactly one wire-time behind the first.
+        assert_eq!(db - da, w);
+    }
+}

@@ -7,8 +7,11 @@
 //! part all queues *do* share — the 100 GbE wire — and records per-class
 //! byte counts so Figure 12 (bandwidth over time) can be regenerated.
 
+use std::collections::BTreeMap;
+
 use crate::config::SimConfig;
 use crate::metrics::MetricsRegistry;
+use crate::obs::Observability;
 use crate::stats::BandwidthRecorder;
 use crate::time::Ns;
 use crate::timeline::Timeline;
@@ -63,6 +66,31 @@ impl ServiceClass {
     }
 }
 
+/// Deterministic per-tenant bandwidth shaping.
+///
+/// Each tenant owns a weighted, *dedicated* slice of the link. A transfer
+/// by tenant `i` with weight `w_i` runs at full wire speed but advances
+/// that tenant's per-direction release horizon by `wire_ns · W / w_i`
+/// (where `W` is the total weight); the tenant's next transfer may not
+/// start before the horizon. Over any window a tenant therefore consumes
+/// at most `w_i / W` of the wire. Shaped transfers never queue on the
+/// shared FCFS wire — isolation holds by construction, like per-tenant
+/// RNIC rate limiters — so admission assumes the weights together fit the
+/// link. The shaper is not work-conserving: an idle tenant's slice is not
+/// redistributed. That keeps the model state a handful of release times,
+/// so it stays exactly deterministic and auditable.
+#[derive(Debug, Clone, Default)]
+struct QosShaper {
+    /// Per-tenant link weight (missing tenants default to weight 1).
+    shares: BTreeMap<u8, u32>,
+    /// Sum of all registered weights.
+    total: u64,
+    /// Earliest next start per (tenant, inbound) direction.
+    release: BTreeMap<(u8, bool), Ns>,
+    /// True wire time consumed by shaped transfers (occupancy reports).
+    shaped_busy: Ns,
+}
+
 /// The shared wire plus bandwidth accounting.
 #[derive(Debug)]
 pub struct Fabric {
@@ -75,6 +103,15 @@ pub struct Fabric {
     bw: BandwidthRecorder,
     class_tx: [u64; 5],
     class_rx: [u64; 5],
+    /// Tenant whose traffic is currently on the wire (single-tenant boots
+    /// never change this from 0). Set by the cluster layer around each verb.
+    active_tenant: u8,
+    /// Per-(tenant, class-index) byte counts, outbound.
+    tenant_tx: BTreeMap<(u8, usize), u64>,
+    /// Per-(tenant, class-index) byte counts, inbound.
+    tenant_rx: BTreeMap<(u8, usize), u64>,
+    /// QoS bandwidth arbitration; `None` (the default) is free-for-all.
+    qos: Option<QosShaper>,
     trace: TraceSink,
     metrics: MetricsRegistry,
 }
@@ -90,20 +127,40 @@ impl Fabric {
             bw: BandwidthRecorder::new(bw_bucket_ns),
             class_tx: [0; 5],
             class_rx: [0; 5],
+            active_tenant: 0,
+            tenant_tx: BTreeMap::new(),
+            tenant_rx: BTreeMap::new(),
+            qos: None,
             trace: TraceSink::disabled(),
             metrics: MetricsRegistry::disabled(),
         }
     }
 
-    /// Routes this fabric's wire-occupancy events into `sink`.
-    pub fn set_trace(&mut self, sink: TraceSink) {
-        self.trace = sink;
+    /// Routes this fabric's wire-occupancy events into the bundle's trace
+    /// sink and its per-class byte counters (`fabric_tx_bytes` /
+    /// `fabric_rx_bytes`, lane = service-class index) into the bundle's
+    /// metrics registry.
+    pub fn observe(&mut self, obs: &Observability) {
+        self.trace = obs.trace().clone();
+        self.metrics = obs.metrics().clone();
     }
 
-    /// Registers a metrics handle for per-class byte counters
-    /// (`fabric_tx_bytes` / `fabric_rx_bytes`, lane = service-class index).
-    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
-        self.metrics = metrics;
+    /// Attributes subsequent transfers to `tenant` (accounting and, when
+    /// QoS is on, shaping). Single-tenant boots leave this at 0.
+    pub fn set_active_tenant(&mut self, tenant: u8) {
+        self.active_tenant = tenant;
+    }
+
+    /// Enables QoS bandwidth arbitration with the given per-tenant weights.
+    /// Tenants absent from the map get weight 1.
+    pub fn set_qos(&mut self, shares: BTreeMap<u8, u32>) {
+        let total: u64 = shares.values().map(|&w| u64::from(w.max(1))).sum();
+        self.qos = Some(QosShaper {
+            shares,
+            total: total.max(1),
+            release: BTreeMap::new(),
+            shaped_busy: 0,
+        });
     }
 
     /// The calibration constants in force.
@@ -117,20 +174,43 @@ impl Fabric {
     /// `inbound` is memory-node → compute-node (fetch) traffic.
     pub fn transfer(&mut self, t: Ns, class: ServiceClass, bytes: usize, inbound: bool) -> Ns {
         let wire = self.cfg.wire_ns(bytes);
-        let link = if inbound {
-            &mut self.link_down
-        } else {
-            &mut self.link_up
+        let tenant = self.active_tenant;
+        // QoS shaping: hold the transfer until the tenant's release horizon,
+        // advance the horizon by the share-scaled wire cost, and run on the
+        // tenant's dedicated slice (never the shared FCFS wire, where a
+        // saturating tenant's future-booked transfers would block everyone
+        // who calls after it).
+        let end = match &mut self.qos {
+            Some(q) => {
+                let share = u64::from(q.shares.get(&tenant).copied().unwrap_or(1).max(1));
+                let rel = q.release.entry((tenant, inbound)).or_insert(0);
+                let start = t.max(*rel);
+                *rel = start + wire * q.total / share;
+                q.shaped_busy += wire;
+                start + wire
+            }
+            None => {
+                let link = if inbound {
+                    &mut self.link_down
+                } else {
+                    &mut self.link_up
+                };
+                // The trace event below is stamped with the *request* time
+                // `t`, not the queued start: queueing delay is visible as
+                // `done - t - wire_ns`.
+                link.acquire(t, wire).1
+            }
         };
-        let (_, end) = link.acquire(t, wire);
         if inbound {
             self.bw.record_rx(end, bytes as u64);
             self.class_rx[class.idx()] += bytes as u64;
+            *self.tenant_rx.entry((tenant, class.idx())).or_insert(0) += bytes as u64;
             self.metrics
                 .add("fabric_rx_bytes", class.idx(), bytes as u64);
         } else {
             self.bw.record_tx(end, bytes as u64);
             self.class_tx[class.idx()] += bytes as u64;
+            *self.tenant_tx.entry((tenant, class.idx())).or_insert(0) += bytes as u64;
             self.metrics
                 .add("fabric_tx_bytes", class.idx(), bytes as u64);
         }
@@ -161,9 +241,28 @@ impl Fabric {
         self.class_rx[class.idx()]
     }
 
-    /// Total link busy time across both directions (utilization reports).
+    /// Outbound bytes attributed to `(tenant, class)`.
+    pub fn tenant_tx(&self, tenant: u8, class: ServiceClass) -> u64 {
+        self.tenant_tx
+            .get(&(tenant, class.idx()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Inbound bytes attributed to `(tenant, class)`.
+    pub fn tenant_rx(&self, tenant: u8, class: ServiceClass) -> u64 {
+        self.tenant_rx
+            .get(&(tenant, class.idx()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total link busy time across both directions (utilization reports),
+    /// including true wire time consumed on shaped per-tenant slices.
     pub fn link_busy(&self) -> Ns {
-        self.link_up.total_busy() + self.link_down.total_busy()
+        self.link_up.total_busy()
+            + self.link_down.total_busy()
+            + self.qos.as_ref().map_or(0, |q| q.shaped_busy)
     }
 }
 
@@ -193,5 +292,54 @@ mod tests {
         assert_eq!(f.class_rx(ServiceClass::Fault), 200);
         assert_eq!(f.bandwidth().total_tx(), 100);
         assert_eq!(f.bandwidth().total_rx(), 200);
+        // Single-tenant traffic lands on tenant 0's ledger.
+        assert_eq!(f.tenant_rx(0, ServiceClass::Fault), 200);
+        assert_eq!(f.tenant_tx(0, ServiceClass::Cleaner), 100);
+        assert_eq!(f.tenant_rx(1, ServiceClass::Fault), 0);
+    }
+
+    #[test]
+    fn per_tenant_accounting_follows_the_active_tenant() {
+        let mut f = Fabric::new(SimConfig::default(), 1_000_000);
+        f.set_active_tenant(1);
+        f.transfer(0, ServiceClass::Fault, 4096, true);
+        f.set_active_tenant(2);
+        f.transfer(0, ServiceClass::Fault, 8192, true);
+        assert_eq!(f.tenant_rx(1, ServiceClass::Fault), 4096);
+        assert_eq!(f.tenant_rx(2, ServiceClass::Fault), 8192);
+        assert_eq!(f.class_rx(ServiceClass::Fault), 4096 + 8192);
+    }
+
+    #[test]
+    fn qos_shaper_throttles_a_tenant_to_its_share() {
+        let mut f = Fabric::new(SimConfig::default(), 1_000_000);
+        let w = f.cfg().wire_ns(4096);
+        let mut shares = BTreeMap::new();
+        shares.insert(1u8, 1u32);
+        shares.insert(2u8, 3u32);
+        f.set_qos(shares);
+        // Tenant 1 holds 1/4 of the link: back-to-back transfers are spaced
+        // 4 wire-times apart even though the wire itself is idle.
+        f.set_active_tenant(1);
+        let a = f.transfer(0, ServiceClass::Fault, 4096, true);
+        let b = f.transfer(0, ServiceClass::Fault, 4096, true);
+        assert_eq!(a, w);
+        assert_eq!(b, 4 * w + w, "second start held to release = 4 wire-times");
+        // Tenant 2 (3/4 share) is spaced only 4/3 wire-times.
+        f.set_active_tenant(2);
+        let c = f.transfer(2 * 4 * w, ServiceClass::Fault, 4096, true);
+        let d = f.transfer(2 * 4 * w, ServiceClass::Fault, 4096, true);
+        assert_eq!(d - c, w * 4 / 3);
+    }
+
+    #[test]
+    fn qos_off_is_unshaped() {
+        let mut f = Fabric::new(SimConfig::default(), 1_000_000);
+        let w = f.cfg().wire_ns(4096);
+        f.set_active_tenant(1);
+        let a = f.transfer(0, ServiceClass::Fault, 4096, true);
+        let b = f.transfer(0, ServiceClass::Fault, 4096, true);
+        assert_eq!(a, w);
+        assert_eq!(b, 2 * w, "without QoS only wire occupancy serializes");
     }
 }

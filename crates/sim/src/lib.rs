@@ -33,15 +33,22 @@
 //!   and fault-latency histograms.
 //! - [`rng`]: deterministic random streams and the size/popularity
 //!   distributions the evaluation workloads need.
+//! - [`obs`]: the unified [`Observability`] bundle (trace + metrics +
+//!   profiler + audit flag) handed to boot paths once and threaded down.
+//! - [`cluster`]: multi-tenant sharing of one endpoint ([`SharedPool`],
+//!   [`RdmaPort`]) with per-tenant protection keys, QP lanes, and QoS
+//!   bandwidth arbitration.
 //!
 //! [EuroSys '23]: https://doi.org/10.1145/3552326.3567488
 
+pub mod cluster;
 pub mod config;
 pub mod ec;
 pub mod fabric;
 pub mod lru;
 pub mod memnode;
 pub mod metrics;
+pub mod obs;
 pub mod rdma;
 pub mod rng;
 pub mod sched;
@@ -50,12 +57,14 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
+pub use cluster::{RdmaPort, SharedPool};
 pub use config::SimConfig;
 pub use ec::{EcError, Gf256, ReedSolomon};
 pub use fabric::{Fabric, ServiceClass};
 pub use lru::LruChain;
 pub use memnode::{MemoryNode, RegionHandle};
 pub use metrics::{MetricsRegistry, SpanProfiler, DEFAULT_SAMPLE_INTERVAL_NS};
+pub use obs::Observability;
 pub use rdma::{RdmaEndpoint, RdmaError, Segment};
 pub use rng::{MixedSizes, SplitMix64, Zipf};
 pub use sched::{Calendar, EventId, SchedEvent};

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 
 use crate::metrics::MetricsRegistry;
+use crate::obs::Observability;
 
 #[derive(Debug, Clone, Copy)]
 struct Links {
@@ -35,10 +36,10 @@ impl LruChain {
         Self::default()
     }
 
-    /// Registers a metrics handle for recency-churn counters
-    /// (`lru_inserts` / `lru_touches` / `lru_removes`).
-    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
-        self.metrics = metrics;
+    /// Routes recency-churn counters (`lru_inserts` / `lru_touches` /
+    /// `lru_removes`) into the bundle's metrics registry.
+    pub fn observe(&mut self, obs: &Observability) {
+        self.metrics = obs.metrics().clone();
     }
 
     /// Number of keys tracked.

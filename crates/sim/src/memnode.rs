@@ -15,6 +15,7 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use crate::metrics::MetricsRegistry;
+use crate::obs::Observability;
 use crate::time::{Ns, PAGE_SIZE};
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -86,15 +87,12 @@ impl MemoryNode {
         self.huge_pages
     }
 
-    /// Routes this node's served accesses into `sink`.
-    pub fn set_trace(&mut self, sink: TraceSink) {
-        self.trace = sink;
-    }
-
-    /// Registers a metrics handle for served-access counters
-    /// (`memnode_reads` / `memnode_writes` plus byte totals).
-    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
-        self.metrics = metrics;
+    /// Routes this node's served accesses into the bundle's trace sink and
+    /// its served-access counters (`memnode_reads` / `memnode_writes` plus
+    /// byte totals) into the bundle's metrics registry.
+    pub fn observe(&mut self, obs: &Observability) {
+        self.trace = obs.trace().clone();
+        self.metrics = obs.metrics().clone();
     }
 
     /// Stamps the virtual time of the next served access (set by the RDMA

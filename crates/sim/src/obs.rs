@@ -1,0 +1,163 @@
+//! The unified observability bundle.
+//!
+//! Before this module, every component (rdma, fabric, memnode, lru) grew a
+//! parallel pair of `set_trace`/`set_metrics` setters and every boot path
+//! threaded three booleans (`trace`/`audit`/`metrics`) through its config.
+//! An [`Observability`] value bundles the trace sink, metrics registry,
+//! span profiler, and the audit flag into one handle that is built once,
+//! handed to the boot path once, and threaded down via a single
+//! `observe(&Observability)` call per component.
+//!
+//! The bundle is a set of `Rc` handles (the same "dark when disabled"
+//! pattern the sink and registry already use): cloning it shares the
+//! underlying buffers, so one bundle describes one booted system. Boot two
+//! systems from two bundles — sharing a bundle would interleave their
+//! event streams and change both digests.
+
+use crate::metrics::{MetricsRegistry, SpanProfiler};
+use crate::trace::TraceSink;
+
+/// One system's observability configuration: trace sink, metrics registry,
+/// span profiler, and whether an auditor should be attached at boot.
+///
+/// Invariants maintained by the constructors:
+/// - `audit` or metered implies a recording trace sink (the auditor and the
+///   profiler are both trace observers).
+/// - a recording profiler is already attached to the sink; boot paths must
+///   not attach it again.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    trace: TraceSink,
+    metrics: MetricsRegistry,
+    profiler: SpanProfiler,
+    audit: bool,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl Observability {
+    /// Fully dark: no tracing, no metrics, no audit. Zero overhead.
+    pub fn none() -> Self {
+        Self {
+            trace: TraceSink::disabled(),
+            metrics: MetricsRegistry::disabled(),
+            profiler: SpanProfiler::disabled(),
+            audit: false,
+        }
+    }
+
+    /// Event tracing only (digests available, no auditor, no metrics).
+    pub fn tracing() -> Self {
+        Self {
+            trace: TraceSink::recording(),
+            ..Self::none()
+        }
+    }
+
+    /// Tracing plus an online auditor attached at boot.
+    pub fn audited() -> Self {
+        Self {
+            audit: true,
+            ..Self::tracing()
+        }
+    }
+
+    /// Tracing plus the metrics registry and span profiler. The profiler is
+    /// attached to the sink here, once.
+    pub fn metered() -> Self {
+        let trace = TraceSink::recording();
+        let profiler = SpanProfiler::recording();
+        profiler.attach_to(&trace);
+        Self {
+            trace,
+            metrics: MetricsRegistry::recording(),
+            profiler,
+            audit: false,
+        }
+    }
+
+    /// Everything on: tracing, auditor, metrics, profiler.
+    pub fn full() -> Self {
+        Self {
+            audit: true,
+            ..Self::metered()
+        }
+    }
+
+    /// Adds the auditor flag to an existing bundle (the sink must already
+    /// be recording, which every non-`none` constructor guarantees).
+    pub fn with_audit(mut self) -> Self {
+        debug_assert!(
+            self.trace.is_enabled(),
+            "audit requires a recording trace sink"
+        );
+        self.audit = true;
+        self
+    }
+
+    /// The shared trace sink handle.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The shared metrics registry handle.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The shared span profiler handle.
+    pub fn profiler(&self) -> &SpanProfiler {
+        &self.profiler
+    }
+
+    /// Whether the boot path should attach an online auditor.
+    pub fn audit(&self) -> bool {
+        self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_hold_their_invariants() {
+        let none = Observability::none();
+        assert!(!none.trace().is_enabled());
+        assert!(!none.metrics().is_enabled());
+        assert!(!none.profiler().is_enabled());
+        assert!(!none.audit());
+
+        let tracing = Observability::tracing();
+        assert!(tracing.trace().is_enabled());
+        assert!(!tracing.metrics().is_enabled());
+        assert!(!tracing.audit());
+
+        let audited = Observability::audited();
+        assert!(audited.trace().is_enabled());
+        assert!(audited.audit());
+
+        let metered = Observability::metered();
+        assert!(metered.trace().is_enabled());
+        assert!(metered.metrics().is_enabled());
+        assert!(metered.profiler().is_enabled());
+        assert!(!metered.audit());
+
+        let full = Observability::full();
+        assert!(full.metrics().is_enabled());
+        assert!(full.audit());
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let obs = Observability::tracing();
+        let other = obs.clone();
+        obs.trace()
+            .emit(0, crate::trace::TraceEvent::ReclaimBegin { free: 1 });
+        assert_eq!(obs.trace().digest(), other.trace().digest());
+    }
+}

@@ -23,6 +23,7 @@ use crate::ec::ReedSolomon;
 use crate::fabric::{Fabric, ServiceClass};
 use crate::memnode::{MemNodeError, MemoryNode, RegionHandle};
 use crate::metrics::MetricsRegistry;
+use crate::obs::Observability;
 use crate::sched::{Calendar, SchedEvent};
 use crate::time::{Ns, PAGE_SIZE};
 use crate::timeline::Timeline;
@@ -134,6 +135,14 @@ pub struct RdmaEndpoint {
     /// event calendar at their true virtual time instead of being emitted
     /// inline at issue time.
     calendar: Option<Calendar>,
+    /// Per-tenant protection keys, one region handle per memory node.
+    /// Ordered by tenant id so enumeration can never leak hash order.
+    tenants: BTreeMap<u8, Vec<RegionHandle>>,
+    /// Tenant whose observability/calendar context is currently installed.
+    /// `None` until the first [`activate_tenant`](Self::activate_tenant):
+    /// single-tenant (exclusive) endpoints never activate, so their wiring
+    /// is untouched by the multi-tenant machinery.
+    active: Option<u8>,
 }
 
 impl RdmaEndpoint {
@@ -202,28 +211,83 @@ impl RdmaEndpoint {
             trace: TraceSink::disabled(),
             metrics: MetricsRegistry::disabled(),
             calendar: None,
+            tenants: BTreeMap::new(),
+            active: None,
         }
     }
 
-    /// Routes verb, wire, and memory-node events into `sink`. All nodes'
-    /// fabrics and memory nodes share the same stream.
-    pub fn set_trace(&mut self, sink: TraceSink) {
+    /// Routes verb events into the bundle's trace sink and verb counters
+    /// (`rdma_reads` / `rdma_writes`, lane = issuing core) into its metrics
+    /// registry, and fans the bundle out to every node's fabric and memory
+    /// node — all components of one endpoint share one stream.
+    pub fn observe(&mut self, obs: &Observability) {
         for n in &mut self.nodes {
-            n.fabric.set_trace(sink.clone());
-            n.node.set_trace(sink.clone());
+            n.fabric.observe(obs);
+            n.node.observe(obs);
         }
-        self.trace = sink;
+        self.trace = obs.trace().clone();
+        self.metrics = obs.metrics().clone();
     }
 
-    /// Registers a metrics handle for verb counters (`rdma_reads` /
-    /// `rdma_writes`, lane = issuing core). All nodes' fabrics and memory
-    /// nodes share the same registry, mirroring [`set_trace`](Self::set_trace).
-    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
-        for n in &mut self.nodes {
-            n.fabric.set_metrics(metrics.clone());
-            n.node.set_metrics(metrics.clone());
+    /// Registers tenant `tenant`'s slice `[base, base + bytes)` on every
+    /// memory node, returning nothing: the per-node protection keys are kept
+    /// inside the endpoint and selected by
+    /// [`activate_tenant`](Self::activate_tenant). This is the control-path
+    /// setup a cluster performs once per tenant at boot.
+    pub fn register_tenant(&mut self, tenant: u8, base: u64, bytes: u64) {
+        let regions = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.node.register_region(base, bytes))
+            .collect();
+        self.tenants.insert(tenant, regions);
+    }
+
+    /// Installs tenant `tenant`'s observability bundle, calendar, and
+    /// protection keys as the endpoint's active context. Cheap when the
+    /// tenant is already active (the common case between interleaved verbs).
+    pub fn activate_tenant(&mut self, tenant: u8, obs: &Observability, cal: &Calendar) {
+        if self.active == Some(tenant) {
+            return;
         }
-        self.metrics = metrics;
+        self.active = Some(tenant);
+        for n in &mut self.nodes {
+            n.fabric.observe(obs);
+            n.fabric.set_active_tenant(tenant);
+            n.node.observe(obs);
+        }
+        self.trace = obs.trace().clone();
+        self.metrics = obs.metrics().clone();
+        self.calendar = Some(cal.clone());
+    }
+
+    /// Enables QoS bandwidth arbitration on every node's fabric with the
+    /// given per-tenant link weights.
+    pub fn set_qos(&mut self, shares: BTreeMap<u8, u32>) {
+        for n in &mut self.nodes {
+            n.fabric.set_qos(shares.clone());
+        }
+    }
+
+    /// The protection key for node `ni` under the active tenant (the node's
+    /// full-pool key when no tenant is active).
+    fn region_of(&self, ni: usize) -> RegionHandle {
+        match self.active.and_then(|t| self.tenants.get(&t)) {
+            Some(regions) => regions[ni],
+            None => self.nodes[ni].region,
+        }
+    }
+
+    /// Bytes attributed to `(tenant, class)` across every node's link:
+    /// `(tx, rx)`. The per-tenant analogue of
+    /// [`class_bytes`](Self::class_bytes).
+    pub fn tenant_class_bytes(&self, tenant: u8, class: ServiceClass) -> (u64, u64) {
+        self.nodes.iter().fold((0, 0), |(tx, rx), n| {
+            (
+                tx + n.fabric.tenant_tx(tenant, class),
+                rx + n.fabric.tenant_rx(tenant, class),
+            )
+        })
     }
 
     /// Queue pairs whose timeline is still occupied at `now` — the per-QP
@@ -644,9 +708,7 @@ impl RdmaEndpoint {
         }
         let (ni, penalty) = self.pick_read_node(remote)?;
         let done = self.verb_timing(ni, now + penalty, core, class, buf.len(), 1, true);
-        self.nodes[ni]
-            .node
-            .read(self.nodes[ni].region, remote, buf)?;
+        self.nodes[ni].node.read(self.region_of(ni), remote, buf)?;
         self.trace_complete(core, class, false, ni as u8, done);
         Ok(done)
     }
@@ -679,7 +741,7 @@ impl RdmaEndpoint {
                 continue;
             }
             let d = self.verb_timing(ni, now, core, class, buf.len(), 1, false);
-            let region = self.nodes[ni].region;
+            let region = self.region_of(ni);
             self.nodes[ni].node.write(region, remote, buf)?;
             done = Some(done.map_or(d, |x: Ns| x.max(d)));
         }
@@ -742,7 +804,7 @@ impl RdmaEndpoint {
         let (read_done, mut done);
         if self.nodes[dn].alive {
             // Old data (for the parity delta): one read verb.
-            let region = self.nodes[dn].region;
+            let region = self.region_of(dn);
             self.nodes[dn].node.read(region, addr, &mut old)?;
             read_done = self.verb_timing(dn, now, core, class, data.len(), 1, true);
             // The data write itself.
@@ -766,7 +828,7 @@ impl RdmaEndpoint {
             }
             let paddr = pbase + in_page;
             let mut parity = vec![0u8; delta.len()];
-            let pregion = self.nodes[pn].region;
+            let pregion = self.region_of(pn);
             self.nodes[pn].node.read(pregion, paddr, &mut parity)?;
             self.ec_state().rs.apply_delta(j, lane, &delta, &mut parity);
             self.nodes[pn].node.write(pregion, paddr, &parity)?;
@@ -794,7 +856,7 @@ impl RdmaEndpoint {
         let (group, lane) = self.ec_span(addr);
         let dn = self.ec_data_node(group, lane);
         if self.nodes[dn].alive {
-            let region = self.nodes[dn].region;
+            let region = self.region_of(dn);
             self.nodes[dn].node.read(region, addr, buf)?;
             return Ok(self.verb_timing(dn, now, core, class, buf.len(), 1, true));
         }
@@ -826,7 +888,7 @@ impl RdmaEndpoint {
             }
             let saddr = ((group * ec_k as u64 + l as u64) << 12) + in_page;
             let mut s = vec![0u8; len];
-            let region = self.nodes[n].region;
+            let region = self.region_of(n);
             self.nodes[n].node.read(region, saddr, &mut s)?;
             done = done.max(self.verb_timing(n, t, core, class, len, 1, true));
             shards[l] = Some(s);
@@ -842,7 +904,7 @@ impl RdmaEndpoint {
                 continue;
             }
             let mut s = vec![0u8; len];
-            let region = self.nodes[n].region;
+            let region = self.region_of(n);
             self.nodes[n].node.read(region, pbase + in_page, &mut s)?;
             done = done.max(self.verb_timing(n, t, core, class, len, 1, true));
             shards[ec_k + j] = Some(s);
@@ -910,7 +972,7 @@ impl RdmaEndpoint {
         let (ni, penalty) = self.pick_read_node(segments[0].remote)?;
         let done = self.verb_timing(ni, now + penalty, core, class, bytes, segments.len(), true);
         for s in segments {
-            let region = self.nodes[ni].region;
+            let region = self.region_of(ni);
             self.nodes[ni]
                 .node
                 .read(region, s.remote, &mut buf[s.offset..s.offset + s.len])?;
@@ -952,7 +1014,7 @@ impl RdmaEndpoint {
             }
             let d = self.verb_timing(ni, now, core, class, bytes, segments.len(), false);
             for s in segments {
-                let region = self.nodes[ni].region;
+                let region = self.region_of(ni);
                 self.nodes[ni]
                     .node
                     .write(region, s.remote, &buf[s.offset..s.offset + s.len])?;
@@ -1360,9 +1422,10 @@ mod tests {
         use crate::sched::{Calendar, SchedEvent};
 
         let mut e = ep();
-        let trace = TraceSink::recording();
+        let obs = Observability::tracing();
+        let trace = obs.trace().clone();
         let cal = Calendar::new();
-        e.set_trace(trace.clone());
+        e.observe(&obs);
         e.set_calendar(cal.clone());
         let mut buf = [0u8; PAGE_SIZE];
         let done = e.read(1_000, 0, ServiceClass::Fault, 0, &mut buf).unwrap();

@@ -117,8 +117,12 @@ impl LatencyHistogram {
 
     /// Returns the value at quantile `q` in `[0, 1]` (zero when empty).
     ///
-    /// The returned value is the lower bound of the bucket containing the
-    /// quantile, clamped to the recorded max.
+    /// The estimate interpolates linearly within the bucket containing the
+    /// quantile rank: a bucket `[lo, hi]` holding `c` samples of which the
+    /// rank is the `k`-th (1-based) yields `lo + (hi - lo) * (k - 1) / c`.
+    /// The result is clamped to the recorded `[min, max]`, so `quantile(0)`
+    /// is exactly the smallest sample and `quantile(1)` is within one
+    /// intra-bucket step of the largest.
     pub fn quantile(&self, q: f64) -> Ns {
         if self.total == 0 {
             return 0;
@@ -126,12 +130,43 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
             seen += c;
             if seen >= rank {
-                return Self::bucket_low(i).min(self.max);
+                let lo = Self::bucket_low(i);
+                let hi = Self::bucket_high(i).min(self.max);
+                // 1-based position of the rank within this bucket.
+                let k = rank - (seen - c);
+                // u128 keeps `span * (k - 1)` exact for any Ns span and
+                // bucket population.
+                let span = (hi.saturating_sub(lo)) as u128;
+                let est = lo + (span * (k - 1) as u128 / c as u128) as Ns;
+                return est.clamp(self.min, self.max);
             }
         }
         self.max
+    }
+
+    /// Median (p50) estimate.
+    pub fn p50(&self) -> Ns {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Ns {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Ns {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> Ns {
+        self.quantile(0.999)
     }
 
     /// Returns `(low, high, count)` for every occupied bucket, in value
@@ -338,6 +373,49 @@ mod tests {
         }
         // The top bucket's high bound saturates instead of overflowing.
         assert_eq!(buckets.last().map(|&(_, hi, _)| hi), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        // 256 samples spanning exactly one bucket: [4864, 5119] (exponent
+        // 12, sub-bucket 3). Interpolation should walk the bucket linearly
+        // instead of pinning every quantile to the bucket's low bound.
+        let mut h = LatencyHistogram::new();
+        for v in 4_864..=5_119u64 {
+            h.record(v);
+        }
+        // rank k maps to lo + span * (k - 1) / count.
+        assert_eq!(h.quantile(0.0), 4_864);
+        assert_eq!(h.p50(), 4_864 + 255 * 127 / 256); // k = 128
+        assert_eq!(h.quantile(1.0), 4_864 + 255 * 255 / 256);
+        assert!(h.p50() > h.quantile(0.25));
+        assert!(h.p90() > h.p50());
+    }
+
+    #[test]
+    fn quantile_accessors_are_ordered_and_clamped() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99, p999) = (h.p50(), h.p90(), h.p99(), h.p999());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max());
+        assert!(p50 >= h.min());
+        // Interpolated estimates sit within ~7 % of the exact order
+        // statistics for a uniform ramp.
+        assert!((470..=530).contains(&p50), "p50 {p50}");
+        assert!((850..=950).contains(&p90), "p90 {p90}");
+        assert!((940..=1_000).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(7_777);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 7_777);
+        }
     }
 
     #[test]

@@ -14,6 +14,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Histogram quantiles are within one log-bucket (≤ ~6.25 %) of exact.
+    ///
+    /// The estimate interpolates inside the bucket holding the exact order
+    /// statistic, so it can land on either side of it — but never further
+    /// than one sub-bucket width away, and never outside `[min, max]`.
     #[test]
     fn histogram_quantiles_track_sorted_reference(
         mut samples in prop::collection::vec(1u64..10_000_000, 1..500),
@@ -27,11 +31,15 @@ proptest! {
         let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
         let exact = samples[rank - 1];
         let approx = h.quantile(q);
-        prop_assert!(approx <= exact, "lower-bound estimate: {approx} vs {exact}");
+        prop_assert!(
+            approx as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+            "within one sub-bucket above: {approx} vs {exact}"
+        );
         prop_assert!(
             approx as f64 >= exact as f64 * (1.0 - 1.0 / 16.0) - 1.0,
-            "within one sub-bucket: {approx} vs {exact}"
+            "within one sub-bucket below: {approx} vs {exact}"
         );
+        prop_assert!(approx >= samples[0] && approx <= *samples.last().expect("non-empty"));
         prop_assert_eq!(h.max(), *samples.last().expect("non-empty"));
         prop_assert_eq!(h.min(), samples[0]);
     }

@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dilos::alloc::Heap;
-use dilos::apps::farmem::FarMemory;
+use dilos::apps::farmem::Introspect;
 use dilos::apps::redis::{LrangeBench, RedisBench, RedisGuide, RedisServer, ValueSizes};
 use dilos::core::{Dilos, DilosConfig, HeapPagingGuide, Readahead};
 
@@ -68,9 +68,9 @@ fn main() {
         };
         bench.populate(&mut server, &mut node);
         let deleted = bench.run_dels(&mut server, &mut node, 70);
-        let (tx0, rx0) = FarMemory::net_bytes(&node);
+        let (tx0, rx0) = Introspect::net_bytes(&node);
         bench.run_gets_surviving(&mut server, &mut node, &deleted, 1_000);
-        let (tx1, rx1) = FarMemory::net_bytes(&node);
+        let (tx1, rx1) = Introspect::net_bytes(&node);
         let label = if guided {
             "guided paging  "
         } else {

@@ -10,6 +10,7 @@ use dilos::apps::gapbs::GraphWorkload;
 use dilos::apps::kmeans::KmeansWorkload;
 use dilos::apps::quicksort::QuicksortWorkload;
 use dilos::apps::snappy::SnappyWorkload;
+use dilos::sim::Observability;
 
 const SYSTEMS: [SystemKind; 4] = [
     SystemKind::DilosReadahead,
@@ -157,11 +158,14 @@ fn randomized_mixed_rw_is_system_independent() {
     for kind in SYSTEMS {
         for ratio in [13u32, 25, 50, 100] {
             let audited = matches!(kind, SystemKind::DilosReadahead | SystemKind::DilosTrend);
-            let mut spec = SystemSpec::for_working_set(kind, WS as u64, ratio).with_trace();
-            if audited {
-                spec = spec.with_audit();
-            }
-            let mut mem = spec.boot();
+            let obs = if audited {
+                Observability::audited()
+            } else {
+                Observability::tracing()
+            };
+            let mut mem = SystemSpec::for_working_set(kind, WS as u64, ratio)
+                .observed(obs)
+                .boot();
             let base = mem.alloc(WS);
             let mut model = vec![0u8; WS];
             let mut rng = Rng(SEED);
@@ -222,7 +226,7 @@ fn trace_derived_metrics_match_hand_counters() {
     for kind in SYSTEMS {
         for ratio in [13u32, 50] {
             let mut mem = SystemSpec::for_working_set(kind, WS as u64, ratio)
-                .with_metrics()
+                .observed(Observability::metered())
                 .boot();
             let base = mem.alloc(WS);
             let mut rng = Rng(0xFEED_F00D);

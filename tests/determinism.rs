@@ -9,6 +9,7 @@
 //! wall-clock use, allocator-address dependence) changes the digest.
 
 use dilos::apps::farmem::{FarMemory, SystemKind, SystemSpec};
+use dilos::sim::Observability;
 
 /// SplitMix64: a tiny deterministic PRNG for the driver workload.
 struct Rng(u64);
@@ -49,7 +50,8 @@ fn drive(mem: &mut dyn FarMemory, seed: u64) {
 }
 
 fn digest_of(kind: SystemKind, ratio: u32, seed: u64) -> u64 {
-    let spec = SystemSpec::for_working_set(kind, WS_PAGES * 4096, ratio).with_trace();
+    let spec = SystemSpec::for_working_set(kind, WS_PAGES * 4096, ratio)
+        .observed(Observability::tracing());
     let mut mem = spec.boot();
     drive(mem.as_mut(), seed);
     mem.trace_digest()
@@ -83,8 +85,8 @@ fn different_seeds_produce_different_traces() {
 fn reclaim_episodes_evict_at_distinct_virtual_times() {
     use dilos::sim::TraceEvent;
 
-    let spec =
-        SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13).with_trace();
+    let spec = SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13)
+        .observed(Observability::tracing());
     let mut mem = spec.boot();
     drive(mem.as_mut(), 0xEC);
     // trace_digest() quiesces the event calendar, so every in-flight
@@ -152,8 +154,7 @@ fn metrics_leave_trace_digests_unchanged() {
     ] {
         for ratio in [13u32, 100] {
             let spec = SystemSpec::for_working_set(kind, WS_PAGES * 4096, ratio)
-                .with_trace()
-                .with_metrics();
+                .observed(Observability::metered());
             let mut mem = spec.boot();
             drive(mem.as_mut(), 0xD15C0);
             // Digesting quiesces, which also flushes sampler ticks up to
@@ -186,7 +187,7 @@ fn metrics_leave_trace_digests_unchanged() {
 fn telemetry_artifacts_are_byte_identical_across_boots() {
     let run = || {
         let spec = SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13)
-            .with_metrics();
+            .observed(Observability::metered());
         let mut mem = spec.boot();
         drive(mem.as_mut(), 0xBEEF);
         mem.trace_digest();
@@ -231,8 +232,8 @@ fn disabled_telemetry_emits_nothing() {
 
 #[test]
 fn audited_deterministic_run_is_violation_free() {
-    let spec =
-        SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13).with_audit();
+    let spec = SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13)
+        .observed(Observability::audited());
     let mut mem = spec.boot();
     drive(mem.as_mut(), 7);
     let report = mem.audit_report();

@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dilos::alloc::Heap;
-use dilos::apps::farmem::{FarMemory, SystemKind, SystemSpec};
+use dilos::apps::farmem::{Introspect, SystemKind, SystemSpec};
 use dilos::apps::redis::{LrangeBench, RedisBench, RedisGuide, RedisServer, ValueSizes};
 use dilos::apps::seqrw::SeqWorkload;
 use dilos::baselines::{Fastswap, FastswapConfig};
@@ -122,9 +122,9 @@ fn c3_guided_paging_reduces_bandwidth() {
         };
         bench.populate(&mut server, &mut node);
         let deleted = bench.run_dels(&mut server, &mut node, 70);
-        let (tx0, rx0) = FarMemory::net_bytes(&node);
+        let (tx0, rx0) = Introspect::net_bytes(&node);
         bench.run_gets_surviving(&mut server, &mut node, &deleted, 400);
-        let (tx1, rx1) = FarMemory::net_bytes(&node);
+        let (tx1, rx1) = Introspect::net_bytes(&node);
         (tx1 - tx0) + (rx1 - rx0)
     };
     let unguided = run(false);
