@@ -7,16 +7,17 @@
 //! ```
 //!
 //! Ids: fig01 fig02 fig06 tab01 tab02 tab03 fig07a fig07b fig07cd fig08
-//! fig09 fig10 tab04 fig12 ablation serve (`tab03` is an alias for
-//! `tab01` — both tables come from the same fault-count run). `--only`
+//! fig09 fig10 tab04 fig12 ablation serve recover (`tab03` is an alias
+//! for `tab01` — both tables come from the same fault-count run). `--only`
 //! accepts any number of ids. Default writes reports to `results/` and
 //! prints them; `--full` runs larger (slower) configurations. Alongside
 //! the per-id markdown, a machine-readable `bench.json` maps each
 //! experiment id that ran to its measured rows, notes, and trace digests;
-//! `serve` additionally writes its own byte-stable `serve.json` (the CI
-//! determinism gate compares two fresh runs of it). `--metrics` also
-//! runs the metered tab01 systems and writes `metrics.json`,
-//! `timeseries.json`, and `profile.folded` to the output directory.
+//! `serve` and `recover` additionally write their own byte-stable
+//! `serve.json` / `recover.json` (the CI determinism gate compares two
+//! fresh runs of each). `--metrics` also runs the metered tab01 systems
+//! and writes `metrics.json`, `timeseries.json`, and `profile.folded` to
+//! the output directory.
 
 use std::io::Write as _;
 
@@ -28,6 +29,7 @@ use dilos_bench::micro::{
     fig01_fastswap_breakdown, fig02_rdma_latency, fig06_latency_breakdown,
     tab01_tab03_fault_counts, tab02_seq_throughput, MicroScale,
 };
+use dilos_bench::recover::{recover_crash_sweep, RecoverScale};
 use dilos_bench::redis_exp::{fig10_redis, fig12_bandwidth, tab04_tail_latency, RedisScale};
 use dilos_bench::serve::{serve_qos, ServeScale};
 use dilos_bench::Report;
@@ -103,6 +105,15 @@ fn main() {
     } else {
         ServeScale::default()
     };
+    let recover = if full {
+        RecoverScale {
+            pages: 1_024,
+            local_pages: 128,
+            rw_ops: 2_000,
+        }
+    } else {
+        RecoverScale::default()
+    };
     let taxi_rows = if full { 60_000 } else { 16_000 };
     let graph_scale = if full { 13 } else { 11 };
     let fig12_keys = if full { 16_384 } else { 4_096 };
@@ -126,6 +137,7 @@ fn main() {
             Box::new(move || fig12_bandwidth(fig12_keys, 2_000)),
         ),
         ("serve", Box::new(move || serve_qos(serve))),
+        ("recover", Box::new(move || recover_crash_sweep(recover))),
         (
             "ablation",
             Box::new(move || {
@@ -168,11 +180,11 @@ fn main() {
         combined.push('\n');
         let path = format!("{out_dir}/{id}.md");
         std::fs::write(&path, &rendered).expect("write report");
-        if id == "serve" {
-            // The serving table gets its own byte-stable artifact so the
-            // CI determinism gate can `cmp` two fresh runs of just it.
-            std::fs::write(format!("{out_dir}/serve.json"), report.to_json())
-                .expect("write serve.json");
+        if id == "serve" || id == "recover" {
+            // These tables get their own byte-stable artifacts so the CI
+            // determinism gate can `cmp` two fresh runs of just them.
+            std::fs::write(format!("{out_dir}/{id}.json"), report.to_json())
+                .expect("write per-id json");
         }
         json_entries.push(format!("  \"{id}\": {}", report.to_json()));
     }

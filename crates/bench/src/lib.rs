@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod apps_exp;
 pub mod loadgen;
 pub mod micro;
+pub mod recover;
 pub mod redis_exp;
 pub mod serve;
 pub mod table;

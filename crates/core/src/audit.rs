@@ -23,6 +23,15 @@
 //! - **Link-bandwidth conservation** — per-class byte totals accumulated
 //!   from `LinkTransfer` events equal the fabric's own accounting (checked
 //!   by [`Dilos::audit_report`](crate::Dilos::audit_report)).
+//! - **No acknowledged write lost** — every `IntentAppend` (a memnode
+//!   acknowledging a write after durably logging its intent) must be
+//!   covered by a later `Checkpoint` or redone by a `RecoveryReplay`
+//!   before that node's `RecoveryComplete`; an intent still pending at
+//!   recovery completion is an acknowledged write the crash lost.
+//! - **No frame resurrected** — a freed frame must be re-allocated (a
+//!   fresh `FrameAlloc`) before it may re-enter the LRU; an `LruInsert` of
+//!   a frame sitting on the free list means recovery or repair revived
+//!   stale state.
 //!
 //! Violations are recorded as human-readable strings, in event order, and
 //! capped so a broken run cannot exhaust memory. A clean run reports none.
@@ -97,6 +106,19 @@ pub struct Auditor {
 
     reclaim_open: bool,
     reclaim_episodes: u64,
+
+    /// Per-memnode acknowledged intents not yet covered by a checkpoint
+    /// (mirrors each node's durable write-intent log).
+    pending_intents: BTreeMap<u8, BTreeSet<u64>>,
+    intent_appends: u64,
+    checkpoints: u64,
+    replays: u64,
+    crashes: u64,
+    recoveries: u64,
+
+    /// Frames currently on the free list (freed and not re-allocated):
+    /// none of these may re-enter the LRU.
+    freed_frames: BTreeSet<u32>,
 }
 
 impl std::fmt::Debug for Auditor {
@@ -200,6 +222,22 @@ impl Auditor {
     /// Reclaim episodes observed.
     pub fn reclaim_episodes(&self) -> u64 {
         self.reclaim_episodes
+    }
+
+    /// `(appends, checkpoints, replays)` write-intent lifecycle counts.
+    pub fn intent_flow(&self) -> (u64, u64, u64) {
+        (self.intent_appends, self.checkpoints, self.replays)
+    }
+
+    /// `(crashes, recoveries)` observed on the trace.
+    pub fn crash_flow(&self) -> (u64, u64) {
+        (self.crashes, self.recoveries)
+    }
+
+    /// Acknowledged intents not yet covered by a checkpoint, summed over
+    /// all memory nodes (mirrors the pool's total intent-log depth).
+    pub fn pending_intents(&self) -> u64 {
+        self.pending_intents.values().map(|s| s.len() as u64).sum()
     }
 
     /// `(tx, rx)` bytes the trace attributes to `class` on the wire.
@@ -342,6 +380,7 @@ impl TraceObserver for Auditor {
             }
             TraceEvent::FrameAlloc { frame } => {
                 self.allocs += 1;
+                self.freed_frames.remove(&frame);
                 if !self.allocated.insert(frame) {
                     self.flag(
                         t,
@@ -362,6 +401,7 @@ impl TraceObserver for Auditor {
             }
             TraceEvent::FrameFree { frame } => {
                 self.frees += 1;
+                self.freed_frames.insert(frame);
                 if !self.allocated.remove(&frame) {
                     self.flag(t, format!("double free of frame {frame}"));
                 }
@@ -379,6 +419,14 @@ impl TraceObserver for Auditor {
                 }
             }
             TraceEvent::LruInsert { vpn } => {
+                // No frame resurrected: an LRU key that is a frame sitting
+                // on the free list re-entered circulation without a fresh
+                // allocation. (Fastswap keys its LRU by vpn, but its vpns
+                // are orders of magnitude above any frame id, so the
+                // membership test cannot false-positive there.)
+                if u32::try_from(vpn).is_ok_and(|f| self.freed_frames.contains(&f)) {
+                    self.flag(t, format!("freed frame {vpn} resurrected in the LRU"));
+                }
                 if !self.lru.insert(vpn) {
                     self.flag(t, format!("LRU insert of member key {vpn:#x}"));
                 }
@@ -406,6 +454,57 @@ impl TraceObserver for Auditor {
             }
             TraceEvent::GuideInvoke { .. } => {
                 self.guide_invocations += 1;
+            }
+            TraceEvent::IntentAppend { node, seq } => {
+                self.intent_appends += 1;
+                if !self.pending_intents.entry(node).or_default().insert(seq) {
+                    self.flag(t, format!("node {node} acknowledged intent {seq} twice"));
+                }
+            }
+            TraceEvent::Checkpoint { node, upto } => {
+                self.checkpoints += 1;
+                // The checkpoint durably covers every intent up to `upto`:
+                // only later acks remain pending.
+                if let Some(set) = self.pending_intents.get_mut(&node) {
+                    *set = set.split_off(&(upto + 1));
+                }
+            }
+            TraceEvent::NodeCrash { node } => {
+                self.crashes += 1;
+                // The crash loses only volatile state; the pending set
+                // mirrors the durable log, which survives — nothing to do
+                // until recovery reports what it replayed.
+                let _ = node;
+            }
+            TraceEvent::RecoveryReplay { node, seq } => {
+                self.replays += 1;
+                if !self.pending_intents.entry(node).or_default().remove(&seq) {
+                    self.flag(
+                        t,
+                        format!(
+                            "node {node} replayed intent {seq} that was never \
+                             acknowledged (or already checkpointed)"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::RecoveryComplete { node, .. } => {
+                self.recoveries += 1;
+                // No acknowledged write lost: every intent acked before the
+                // crash must have been checkpointed or replayed by now.
+                if let Some(set) = self.pending_intents.get_mut(&node) {
+                    let lost: Vec<u64> = set.iter().copied().collect();
+                    set.clear();
+                    for seq in lost {
+                        self.flag(
+                            t,
+                            format!(
+                                "acknowledged write lost: node {node} intent {seq} \
+                                 neither checkpointed nor replayed at recovery"
+                            ),
+                        );
+                    }
+                }
             }
         }
     }
@@ -563,6 +662,132 @@ mod tests {
         assert!(aud.is_clean());
         aud.final_checks();
         assert_eq!(aud.violation_count(), 2);
+    }
+
+    #[test]
+    fn clean_crash_recovery_cycle_stays_clean() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::IntentAppend { node: 1, seq: 1 });
+        s.emit(2, TraceEvent::IntentAppend { node: 1, seq: 2 });
+        s.emit(3, TraceEvent::Checkpoint { node: 1, upto: 1 });
+        s.emit(4, TraceEvent::IntentAppend { node: 1, seq: 3 });
+        s.emit(5, TraceEvent::NodeCrash { node: 1 });
+        // Recovery replays everything the checkpoint did not cover.
+        s.emit(6, TraceEvent::RecoveryReplay { node: 1, seq: 2 });
+        s.emit(7, TraceEvent::RecoveryReplay { node: 1, seq: 3 });
+        s.emit(
+            8,
+            TraceEvent::RecoveryComplete {
+                node: 1,
+                replayed: 2,
+                reconciled: 0,
+            },
+        );
+        let mut aud = a.borrow_mut();
+        aud.final_checks();
+        assert!(aud.is_clean(), "{:?}", aud.violations());
+        assert_eq!(aud.intent_flow(), (3, 1, 2));
+        assert_eq!(aud.crash_flow(), (1, 1));
+        assert_eq!(aud.pending_intents(), 0);
+    }
+
+    #[test]
+    fn acknowledged_write_lost_is_flagged() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::IntentAppend { node: 0, seq: 1 });
+        s.emit(2, TraceEvent::IntentAppend { node: 0, seq: 2 });
+        s.emit(3, TraceEvent::NodeCrash { node: 0 });
+        // Intent 2 was acked but is neither checkpointed nor replayed.
+        s.emit(4, TraceEvent::RecoveryReplay { node: 0, seq: 1 });
+        s.emit(
+            5,
+            TraceEvent::RecoveryComplete {
+                node: 0,
+                replayed: 1,
+                reconciled: 0,
+            },
+        );
+        let a = a.borrow();
+        assert_eq!(a.violation_count(), 1);
+        assert!(
+            a.violations()[0].contains("acknowledged write lost: node 0 intent 2"),
+            "{:?}",
+            a.violations()
+        );
+    }
+
+    #[test]
+    fn checkpoint_covers_acknowledged_intents() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::IntentAppend { node: 2, seq: 1 });
+        s.emit(2, TraceEvent::IntentAppend { node: 2, seq: 2 });
+        s.emit(3, TraceEvent::Checkpoint { node: 2, upto: 2 });
+        s.emit(4, TraceEvent::NodeCrash { node: 2 });
+        // Nothing to replay: the checkpoint already covers both acks.
+        s.emit(
+            5,
+            TraceEvent::RecoveryComplete {
+                node: 2,
+                replayed: 0,
+                reconciled: 4,
+            },
+        );
+        assert!(a.borrow().is_clean(), "{:?}", a.borrow().violations());
+    }
+
+    #[test]
+    fn replay_of_unacknowledged_intent_is_flagged() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::RecoveryReplay { node: 0, seq: 9 });
+        let a = a.borrow();
+        assert_eq!(a.violation_count(), 1);
+        assert!(
+            a.violations()[0].contains("replayed intent 9 that was never"),
+            "{:?}",
+            a.violations()
+        );
+    }
+
+    #[test]
+    fn double_acknowledged_intent_is_flagged() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::IntentAppend { node: 0, seq: 5 });
+        s.emit(2, TraceEvent::IntentAppend { node: 0, seq: 5 });
+        let a = a.borrow();
+        assert_eq!(a.violation_count(), 1);
+        assert!(a.violations()[0].contains("acknowledged intent 5 twice"));
+    }
+
+    #[test]
+    fn resurrected_frame_is_flagged() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::FrameAlloc { frame: 4 });
+        s.emit(2, TraceEvent::LruInsert { vpn: 4 });
+        s.emit(3, TraceEvent::LruRemove { vpn: 4 });
+        s.emit(4, TraceEvent::FrameFree { frame: 4 });
+        // The frame re-enters the LRU without a fresh allocation.
+        s.emit(5, TraceEvent::LruInsert { vpn: 4 });
+        let a = a.borrow();
+        assert!(
+            a.violations()
+                .iter()
+                .any(|v| v.contains("freed frame 4 resurrected in the LRU")),
+            "{:?}",
+            a.violations()
+        );
+    }
+
+    #[test]
+    fn reallocated_frame_is_not_a_resurrection() {
+        let (s, a) = audited_sink();
+        s.emit(1, TraceEvent::FrameAlloc { frame: 4 });
+        s.emit(2, TraceEvent::LruInsert { vpn: 4 });
+        s.emit(3, TraceEvent::LruRemove { vpn: 4 });
+        s.emit(4, TraceEvent::FrameFree { frame: 4 });
+        // A fresh allocation legitimises the frame again.
+        s.emit(5, TraceEvent::FrameAlloc { frame: 4 });
+        s.emit(6, TraceEvent::LruInsert { vpn: 4 });
+        assert!(a.borrow().is_clean(), "{:?}", a.borrow().violations());
     }
 
     #[test]

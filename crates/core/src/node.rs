@@ -26,8 +26,8 @@ use std::rc::Rc;
 
 use dilos_sim::{
     Calendar, CoreClock, EventId, FaultKind, FaultPhase, MetricsRegistry, Ns, Observability,
-    PteClass, RdmaEndpoint, RdmaPort, SchedEvent, Segment, ServiceClass, SimConfig, SpanProfiler,
-    TraceEvent, TraceSink, PAGE_SIZE,
+    PteClass, RdmaEndpoint, RdmaPort, RecoverConfig, RecoveryStats, SchedEvent, Segment,
+    ServiceClass, SimConfig, SpanProfiler, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
 use crate::audit::Auditor;
@@ -128,6 +128,13 @@ pub struct DilosConfig {
     /// Carbink-style erasure coding `(k, m)` across the pool; overrides
     /// `replication` when set (requires `memory_nodes ≥ k + m`).
     pub erasure: Option<(usize, usize)>,
+    /// Memnode crash–recovery: arms durable state (periodic checkpoints +
+    /// a write-intent log acknowledged ahead of every remote write) on all
+    /// memory nodes and, when `crash_at_event` is set, a calendar-driven
+    /// injector that kills the victim mid-run and schedules its repair.
+    /// Ignored in a shared-pool boot ([`Dilos::with_port`]) — recovery is
+    /// a property of the endpoint, which the pool owns.
+    pub recovery: Option<RecoverConfig>,
     /// The observability bundle: trace sink, metrics registry, span
     /// profiler, and audit flag, built once via [`Observability`]'s
     /// constructors and threaded down to every component. Pure observation
@@ -151,6 +158,7 @@ impl Default for DilosConfig {
             memory_nodes: 1,
             replication: 1,
             erasure: None,
+            recovery: None,
             obs: Observability::none(),
         }
     }
@@ -269,6 +277,9 @@ impl Dilos {
         };
         rdma.set_shared_queue(cfg.shared_queue);
         rdma.set_tcp_mode(cfg.tcp_mode);
+        if let Some(rc) = cfg.recovery {
+            rdma.arm_recovery(rc);
+        }
         Self::boot(cfg, RdmaPort::exclusive(rdma))
     }
 
@@ -576,6 +587,39 @@ impl Dilos {
     /// erasure-coded reconstruction).
     pub fn schedule_memory_node_repair(&mut self, at: Ns, node: usize) {
         self.cal.schedule(at, SchedEvent::NodeRepair { node });
+    }
+
+    /// Crash–recovery counters: crashes fired, recoveries completed, log
+    /// depth at the crash, records replayed, pages reconciled from the
+    /// surviving redundancy, and the modeled recovery latency. All zero
+    /// unless booted with [`DilosConfig::recovery`].
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.rdma.recovery_stats()
+    }
+
+    /// Test hook (invariant proving): drops the most recent acknowledged
+    /// intent-log record on memory node `i`, simulating a durability bug.
+    /// The auditor must flag the replay gap as an acknowledged write lost.
+    #[cfg(test)]
+    pub(crate) fn inject_dropped_intent(&mut self, i: usize) -> Option<u64> {
+        self.rdma.corrupt_drop_intent(i)
+    }
+
+    /// Test hook (invariant proving): re-inserts a freed frame into the
+    /// LRU without re-allocating it, simulating a use-after-free in the
+    /// page manager. The auditor must flag the resurrection.
+    #[cfg(test)]
+    pub(crate) fn inject_resurrected_frame(&mut self, t: Ns) -> Option<u32> {
+        let frame = self.frames.pop_free(t)?;
+        self.frames.push_free(frame, t);
+        self.trace.emit(
+            t,
+            TraceEvent::LruInsert {
+                vpn: u64::from(frame),
+            },
+        );
+        self.lru.insert(u64::from(frame));
+        Some(frame)
     }
 
     /// The node configuration.
@@ -1422,7 +1466,7 @@ impl Dilos {
                 node,
                 core,
             } => self.rdma.deliver_completion(t, class, write, node, core),
-            SchedEvent::NodeRepair { node } => self.rdma.repair_node(node),
+            SchedEvent::NodeRepair { node } => self.rdma.repair_node_at(t, node),
             // Sample ticks never ride the main calendar (the registry owns
             // its own — see `drain_events`), but the match must be total.
             SchedEvent::SampleTick => self.record_gauges(t),
@@ -1814,6 +1858,85 @@ mod tests {
         assert!(
             report.iter().any(|m| m.contains("double free of frame")),
             "double free not detected: {report:#?}"
+        );
+    }
+
+    fn recovering_node(crash_at_event: Option<u64>) -> Dilos {
+        let mut node = Dilos::new(DilosConfig {
+            local_pages: 32,
+            remote_bytes: 1 << 24,
+            recovery: Some(RecoverConfig {
+                crash_at_event,
+                victim: 0,
+                // A huge interval keeps every ack in the log, so a dropped
+                // record cannot hide behind a checkpoint seal.
+                checkpoint_every: 1 << 20,
+                ..RecoverConfig::default()
+            }),
+            obs: dilos_sim::Observability::audited(),
+            ..DilosConfig::default()
+        });
+        node.set_prefetcher(Box::new(Readahead::new()));
+        node
+    }
+
+    /// Streams writes through an armed node, crashes and recovers it, and
+    /// expects both new invariants (no acknowledged write lost, no frame
+    /// resurrected) to hold alongside every existing check.
+    #[test]
+    fn crash_and_recovery_audit_clean() {
+        let mut node = recovering_node(None);
+        let va = node.ddc_alloc(64 * PAGE_SIZE);
+        for i in 0..64u64 {
+            node.write_u64(0, va + i * PAGE_SIZE as u64, i);
+        }
+        node.fail_memory_node(0);
+        node.schedule_memory_node_repair(node.now(0) + 1_000_000, 0);
+        let report = node.audit_report();
+        assert!(report.is_empty(), "unexpected violations: {report:#?}");
+        let stats = node.recovery_stats();
+        assert_eq!(stats.recoveries, 1);
+        assert!(stats.replayed > 0, "evictions should have logged intents");
+        for i in 0..64u64 {
+            assert_eq!(node.read_u64(0, va + i * PAGE_SIZE as u64), i);
+        }
+    }
+
+    /// Deliberately drops an acknowledged intent-log record: the auditor
+    /// must flag exactly an acknowledged-write-lost violation at recovery.
+    #[test]
+    fn auditor_catches_acknowledged_write_lost() {
+        let mut node = recovering_node(None);
+        let va = node.ddc_alloc(64 * PAGE_SIZE);
+        for i in 0..64u64 {
+            node.write_u64(0, va + i * PAGE_SIZE as u64, i);
+        }
+        let dropped = node.inject_dropped_intent(0);
+        assert!(dropped.is_some(), "evictions should have logged intents");
+        node.fail_memory_node(0);
+        node.schedule_memory_node_repair(node.now(0) + 1_000_000, 0);
+        let report = node.audit_report();
+        assert!(
+            report.iter().any(|m| m.contains("acknowledged write lost")),
+            "dropped intent not detected: {report:#?}"
+        );
+    }
+
+    /// Deliberately re-inserts a freed frame into the LRU without a fresh
+    /// allocation: the auditor must flag the resurrection.
+    #[test]
+    fn auditor_catches_resurrected_frame() {
+        let mut node = audited_node();
+        let va = node.ddc_alloc(8 * PAGE_SIZE);
+        for i in 0..8u64 {
+            node.write_u64(0, va + i * PAGE_SIZE as u64, i);
+        }
+        let frame = node.inject_resurrected_frame(node.now(0));
+        assert!(frame.is_some(), "free list should not be empty");
+        let report = node.audit_report();
+        assert!(
+            report.iter().any(|m| m.contains("resurrected in the LRU")),
+            "resurrection not detected: {report:#?}"
         );
     }
 

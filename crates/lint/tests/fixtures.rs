@@ -190,6 +190,34 @@ fn cluster_arbitration_code_trips_r1_and_r2_in_the_core() {
 }
 
 #[test]
+fn recovery_replay_code_trips_r1_and_r2_in_the_sim() {
+    let src = include_str!("fixtures/recover_violating.rs");
+    let file = "crates/sim/src/recover.rs";
+    let r = lint_source(file, src);
+    assert_violations(
+        &r,
+        file,
+        &[
+            ("R1", "no-wall-clock", 9),
+            ("R2", "no-hash-iteration", 10),
+            ("R2", "no-hash-iteration", 12),
+        ],
+    );
+    // Out of scope in the bench harness: the recover *experiment* may time
+    // itself on the host clock; the recovery *module* may not.
+    clean(
+        &lint_source("crates/bench/src/recover.rs", src),
+        "crates/bench/src/recover.rs",
+    );
+    // Replay over a BTreeMap-ordered log, timed virtually, is clean.
+    let file = "crates/sim/src/recover.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/recover_clean.rs")),
+        file,
+    );
+}
+
+#[test]
 fn suppression_shields_and_ledgers() {
     let file = "crates/core/src/sweep.rs";
     let r = lint_source(file, include_str!("fixtures/suppressed.rs"));

@@ -259,6 +259,29 @@ impl RdmaPort {
     pub fn repair_node(&mut self, i: usize) {
         self.ep.borrow_mut().repair_node(i);
     }
+
+    /// Brings memory node `i` back online at virtual time `now`, running
+    /// the full recovery protocol (checkpoint restore + intent replay +
+    /// reconciliation) when crash recovery is armed.
+    pub fn repair_node_at(&mut self, now: Ns, i: usize) {
+        self.ep.borrow_mut().repair_node_at(now, i);
+    }
+
+    /// Arms the crash-recovery machinery on the shared pool.
+    pub fn arm_recovery(&mut self, cfg: crate::recover::RecoverConfig) {
+        self.ep.borrow_mut().arm_recovery(cfg);
+    }
+
+    /// Counters of the most recent crash/recovery cycle.
+    pub fn recovery_stats(&self) -> crate::recover::RecoveryStats {
+        self.ep.borrow().recovery_stats()
+    }
+
+    /// Fault injection for negative tests: drops node `i`'s most recent
+    /// acknowledged intent record, returning its sequence number.
+    pub fn corrupt_drop_intent(&mut self, i: usize) -> Option<u64> {
+        self.ep.borrow_mut().corrupt_drop_intent(i)
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,10 @@
 //! - [`cluster`]: multi-tenant sharing of one endpoint ([`SharedPool`],
 //!   [`RdmaPort`]) with per-tenant protection keys, QP lanes, and QoS
 //!   bandwidth arbitration.
+//! - [`recover`]: memnode crash–recovery — durable checkpoints, a
+//!   write-intent log acknowledged ahead of every remote write, a
+//!   calendar-driven crash injector ([`RecoverConfig`]), and detectable
+//!   replay on rejoin.
 //!
 //! [EuroSys '23]: https://doi.org/10.1145/3552326.3567488
 
@@ -50,6 +54,7 @@ pub mod memnode;
 pub mod metrics;
 pub mod obs;
 pub mod rdma;
+pub mod recover;
 pub mod rng;
 pub mod sched;
 pub mod stats;
@@ -66,6 +71,7 @@ pub use memnode::{MemoryNode, RegionHandle};
 pub use metrics::{MetricsRegistry, SpanProfiler, DEFAULT_SAMPLE_INTERVAL_NS};
 pub use obs::Observability;
 pub use rdma::{RdmaEndpoint, RdmaError, Segment};
+pub use recover::{RecoverConfig, RecoveryStats};
 pub use rng::{MixedSizes, SplitMix64, Zipf};
 pub use sched::{Calendar, EventId, SchedEvent};
 pub use stats::{BandwidthRecorder, LatencyHistogram};

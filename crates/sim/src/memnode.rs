@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 
 use crate::metrics::MetricsRegistry;
 use crate::obs::Observability;
+use crate::recover::DurableState;
 use crate::time::{Ns, PAGE_SIZE};
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -63,6 +64,11 @@ pub struct MemoryNode {
     /// Virtual time of the in-flight verb, stamped by the endpoint before
     /// each data-path access (the passive node has no clock of its own).
     access_time: Cell<Ns>,
+    /// Pool index, used to label crash/recovery trace events.
+    node_id: u8,
+    /// Durable image (checkpoint + intent log) when persistence is armed;
+    /// `None` keeps the write path free of any recovery overhead.
+    durable: Option<DurableState>,
 }
 
 impl MemoryNode {
@@ -153,10 +159,27 @@ impl MemoryNode {
     }
 
     /// Writes `buf` starting at `addr` (may span pages).
+    ///
+    /// With persistence armed, a write-intent record is appended to the
+    /// durable log *before* the page copy — the write-ahead ack rule: once
+    /// the intent is logged the write counts as acknowledged, and a crash
+    /// at any later instant must not lose it. The log seals into a fresh
+    /// checkpoint once it reaches the configured depth.
     pub fn write(&mut self, key: RegionHandle, addr: u64, buf: &[u8]) -> Result<(), MemNodeError> {
         self.check(key, addr, buf.len())?;
+        let t = self.access_time.get();
+        if let Some(d) = self.durable.as_mut() {
+            let seq = d.append(addr, buf);
+            self.trace.emit(
+                t,
+                TraceEvent::IntentAppend {
+                    node: self.node_id,
+                    seq,
+                },
+            );
+        }
         self.trace.emit(
-            self.access_time.get(),
+            t,
             TraceEvent::MemAccess {
                 write: true,
                 offset: addr,
@@ -165,6 +188,15 @@ impl MemoryNode {
         );
         self.metrics.inc("memnode_writes", 0);
         self.metrics.add("memnode_write_bytes", 0, buf.len() as u64);
+        self.copy_in(addr, buf);
+        if self.durable.as_ref().is_some_and(|d| d.should_checkpoint()) {
+            self.checkpoint_now(t);
+        }
+        Ok(())
+    }
+
+    /// The page-copy loop shared by the data-path write and intent replay.
+    fn copy_in(&mut self, addr: u64, buf: &[u8]) {
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
@@ -178,7 +210,6 @@ impl MemoryNode {
             p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
             off += n;
         }
-        Ok(())
     }
 
     /// Number of pages materialized on the node (for capacity reporting).
@@ -206,6 +237,121 @@ impl MemoryNode {
     /// reconstructed content directly into a repaired node's pool.
     pub fn install_page(&mut self, page: u64, data: &[u8; PAGE_SIZE]) {
         self.pages.insert(page, Box::new(*data));
+    }
+
+    // ------------------------------------------------------------------
+    // Crash–recovery: durable checkpoints + write-intent log.
+    // ------------------------------------------------------------------
+
+    /// Labels this node with its pool index (used on crash/recovery trace
+    /// events; control path, never traced itself).
+    pub fn set_node_id(&mut self, id: u8) {
+        self.node_id = id;
+    }
+
+    /// Arms the persistent-state model: from now on every acknowledged
+    /// write appends a durable intent record, and the log seals into a
+    /// checkpoint every `checkpoint_every` records. The arming checkpoint
+    /// covers everything already resident (boot-time registrations and any
+    /// pre-existing pages), so recovery never depends on pre-arm history.
+    pub fn arm_persistence(&mut self, checkpoint_every: u64) {
+        let mut d = DurableState::new(checkpoint_every);
+        d.seal(&self.pages, self.region_table());
+        self.durable = Some(d);
+    }
+
+    /// Whether the persistent-state model is armed.
+    pub fn persistence_armed(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Acknowledged intents not yet covered by a checkpoint (0 when
+    /// persistence is off).
+    pub fn intent_log_depth(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.log_depth())
+    }
+
+    /// Checkpoints sealed since persistence was armed.
+    pub fn checkpoints_sealed(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.checkpoints)
+    }
+
+    /// The region table as plain `(key, (base, len))` rows, for the
+    /// checkpoint image.
+    fn region_table(&self) -> BTreeMap<u32, (u64, u64)> {
+        self.regions
+            .iter()
+            .map(|(&k, r)| (k, (r.base, r.len)))
+            .collect()
+    }
+
+    /// Kills the node: all volatile state (page and region tables) is
+    /// gone. The durable image and the key counter survive — exactly what
+    /// a restarted server process would find on its persistent store.
+    pub fn crash(&mut self) {
+        self.pages.clear();
+        self.regions.clear();
+    }
+
+    /// Seals a checkpoint over the live tables now, emitting
+    /// [`TraceEvent::Checkpoint`]. No-op when persistence is off.
+    pub fn checkpoint_now(&mut self, t: Ns) {
+        let regions = self.region_table();
+        if let Some(d) = self.durable.as_mut() {
+            let upto = d.seal(&self.pages, regions);
+            self.trace.emit(
+                t,
+                TraceEvent::Checkpoint {
+                    node: self.node_id,
+                    upto,
+                },
+            );
+        }
+    }
+
+    /// Recovery step 1 + 2: restores the last checkpoint into the live
+    /// tables, then replays the intent log record by record. Each replay
+    /// emits [`TraceEvent::RecoveryReplay`] — the detectability hook the
+    /// auditor uses to prove no acknowledged write was lost. Returns the
+    /// number of records replayed. The log is left intact; the caller
+    /// seals a fresh checkpoint (via [`checkpoint_now`](Self::checkpoint_now))
+    /// once reconciliation is done.
+    pub fn recover_from_durable(&mut self, t: Ns) -> u64 {
+        let Some(mut d) = self.durable.take() else {
+            return 0;
+        };
+        self.pages = d.checkpoint_pages.clone();
+        self.regions = d
+            .checkpoint_regions
+            .iter()
+            .map(|(&k, &(base, len))| (k, Region { base, len }))
+            .collect();
+        let log = std::mem::take(&mut d.log);
+        let replayed = log.len() as u64;
+        for rec in &log {
+            self.trace.emit(
+                t,
+                TraceEvent::RecoveryReplay {
+                    node: self.node_id,
+                    seq: rec.seq,
+                },
+            );
+            self.copy_in(rec.addr, &rec.data);
+        }
+        d.log = log;
+        self.durable = Some(d);
+        replayed
+    }
+
+    /// Fault injection for the auditor's negative tests: silently drops the
+    /// most recent acknowledged intent record, returning its sequence
+    /// number. The next recovery then *cannot* replay it — the auditor must
+    /// flag exactly that sequence as an acknowledged write lost.
+    pub fn corrupt_drop_last_intent(&mut self) -> Option<u64> {
+        self.durable
+            .as_mut()
+            .and_then(|d| d.log.pop())
+            .map(|rec| rec.seq)
     }
 }
 
@@ -260,6 +406,71 @@ mod tests {
             n.write(k, u64::MAX - 4, &buf),
             Err(MemNodeError::OutOfBounds)
         );
+    }
+
+    #[test]
+    fn crash_then_recover_replays_acknowledged_writes() {
+        let (mut n, k) = node_with_region();
+        n.arm_persistence(4);
+        // Three writes: fewer than checkpoint_every, so all live in the log.
+        for i in 0..3u64 {
+            n.write(k, i * 4096, &[i as u8 + 1; 64]).unwrap();
+        }
+        assert_eq!(n.intent_log_depth(), 3);
+        n.crash();
+        assert_eq!(n.resident_pages(), 0);
+        let mut buf = [0u8; 64];
+        assert_eq!(n.read(k, 0, &mut buf), Err(MemNodeError::BadKey));
+        assert_eq!(n.recover_from_durable(0), 3);
+        for i in 0..3u64 {
+            n.read(k, i * 4096, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == i as u8 + 1), "page {i}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_seals_at_the_configured_depth() {
+        let (mut n, k) = node_with_region();
+        n.arm_persistence(2);
+        n.write(k, 0, &[1; 8]).unwrap();
+        assert_eq!(n.intent_log_depth(), 1);
+        n.write(k, 4096, &[2; 8]).unwrap();
+        // The second ack reached the depth: the log sealed into checkpoint 2
+        // (the arming checkpoint was the first).
+        assert_eq!(n.intent_log_depth(), 0);
+        assert_eq!(n.checkpoints_sealed(), 2);
+        // A crash now recovers everything from the checkpoint alone.
+        n.crash();
+        assert_eq!(n.recover_from_durable(0), 0);
+        let mut buf = [0u8; 8];
+        n.read(k, 4096, &mut buf).unwrap();
+        assert_eq!(buf, [2; 8]);
+    }
+
+    #[test]
+    fn dropping_an_intent_loses_exactly_that_write() {
+        let (mut n, k) = node_with_region();
+        n.arm_persistence(100);
+        n.write(k, 0, &[0xAA; 8]).unwrap();
+        n.write(k, 4096, &[0xBB; 8]).unwrap();
+        assert_eq!(n.corrupt_drop_last_intent(), Some(2));
+        n.crash();
+        assert_eq!(n.recover_from_durable(0), 1);
+        let mut buf = [0u8; 8];
+        n.read(k, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0xAA; 8], "surviving intent must replay");
+        n.read(k, 4096, &mut buf).unwrap();
+        assert_eq!(buf, [0; 8], "dropped intent must be lost");
+    }
+
+    #[test]
+    fn unarmed_node_has_no_recovery_surface() {
+        let (mut n, k) = node_with_region();
+        n.write(k, 0, &[1; 8]).unwrap();
+        assert!(!n.persistence_armed());
+        assert_eq!(n.intent_log_depth(), 0);
+        assert_eq!(n.recover_from_durable(0), 0);
+        assert_eq!(n.corrupt_drop_last_intent(), None);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::fabric::{Fabric, ServiceClass};
 use crate::memnode::{MemNodeError, MemoryNode, RegionHandle};
 use crate::metrics::MetricsRegistry;
 use crate::obs::Observability;
+use crate::recover::{RecoverConfig, RecoveryStats};
 use crate::sched::{Calendar, SchedEvent};
 use crate::time::{Ns, PAGE_SIZE};
 use crate::timeline::Timeline;
@@ -113,6 +114,18 @@ struct EcState {
     parity_base: u64,
 }
 
+/// Crash-injector state: the completed-verb counter the injector watches,
+/// and the stats of the most recent crash/recovery cycle.
+#[derive(Debug)]
+struct RecoverState {
+    cfg: RecoverConfig,
+    /// Data-path verbs completed since arming (the injector's event index).
+    completed: u64,
+    /// The injector fires at most once per arming.
+    fired: bool,
+    stats: RecoveryStats,
+}
+
 #[derive(Debug)]
 pub struct RdmaEndpoint {
     nodes: Vec<RemoteNode>,
@@ -143,6 +156,9 @@ pub struct RdmaEndpoint {
     /// single-tenant (exclusive) endpoints never activate, so their wiring
     /// is untouched by the multi-tenant machinery.
     active: Option<u8>,
+    /// Crash injector + recovery bookkeeping; `None` keeps every data-path
+    /// completion free of the event-counting branch's bookkeeping.
+    recover: Option<RecoverState>,
 }
 
 impl RdmaEndpoint {
@@ -185,9 +201,10 @@ impl RdmaEndpoint {
         // Figure 12 plots bandwidth in ~minutes; a 10 ms virtual bucket gives
         // smooth series at bench scale.
         let nodes = (0..nodes)
-            .map(|_| {
+            .map(|i| {
                 let mut node = MemoryNode::new();
                 node.set_huge_pages(true);
+                node.set_node_id(i as u8);
                 let region = node.register_region(0, remote_bytes);
                 RemoteNode {
                     node,
@@ -213,6 +230,7 @@ impl RdmaEndpoint {
             calendar: None,
             tenants: BTreeMap::new(),
             active: None,
+            recover: None,
         }
     }
 
@@ -436,15 +454,62 @@ impl RdmaEndpoint {
     /// operation: it moves bytes without charging verb latency or emitting
     /// data-path trace events.
     pub fn repair_node(&mut self, i: usize) {
+        self.repair_node_at(0, i);
+    }
+
+    /// [`repair_node`](Self::repair_node) with the repair's virtual time,
+    /// so the crash-recovery protocol can stamp its trace events. With
+    /// recovery armed on the node, the repair runs the full protocol:
+    ///
+    /// 1. restore the last durable checkpoint,
+    /// 2. replay the write-intent log (each replay emits
+    ///    [`TraceEvent::RecoveryReplay`] — detectable replay),
+    /// 3. reconcile with surviving replicas/EC stripes (the existing
+    ///    resync),
+    /// 4. emit [`TraceEvent::RecoveryComplete`] and seal a fresh
+    ///    checkpoint.
+    ///
+    /// `RecoveryComplete` is deliberately emitted *before* the fresh
+    /// checkpoint: the auditor closes its no-acknowledged-write-lost window
+    /// on `RecoveryComplete`, so a checkpoint sealed first would mask a
+    /// dropped intent.
+    pub fn repair_node_at(&mut self, now: Ns, i: usize) {
         if self.nodes[i].alive {
             return;
         }
         self.nodes[i].alive = true;
         self.nodes[i].death_detected = false;
-        if self.ec.is_some() {
-            self.ec_resync(i);
+        let armed = self.recover.is_some() && self.nodes[i].node.persistence_armed();
+        let replayed = if armed {
+            self.nodes[i].node.recover_from_durable(now)
+        } else {
+            0
+        };
+        let reconciled = if self.ec.is_some() {
+            self.ec_resync(i)
         } else if self.replication > 1 {
-            self.replica_resync(i);
+            self.replica_resync(i)
+        } else {
+            0
+        };
+        if !armed {
+            return;
+        }
+        self.trace.emit(
+            now,
+            TraceEvent::RecoveryComplete {
+                node: i as u8,
+                replayed,
+                reconciled,
+            },
+        );
+        self.nodes[i].node.checkpoint_now(now);
+        if let Some(rec) = self.recover.as_mut() {
+            rec.stats.recoveries += 1;
+            rec.stats.replayed = replayed;
+            rec.stats.reconciled = reconciled;
+            rec.stats.recovery_ns =
+                replayed * rec.cfg.replay_ns_per_record + reconciled * rec.cfg.resync_ns_per_page;
         }
     }
 
@@ -452,7 +517,9 @@ impl RdmaEndpoint {
     /// is copied from its first other live replica. Pages written during
     /// the outage only reached the survivors, so the full copy restores
     /// them; pages `i` alone replicated are unrecoverable and left as-is.
-    fn replica_resync(&mut self, i: usize) {
+    /// Returns the number of pages installed.
+    fn replica_resync(&mut self, i: usize) -> u64 {
+        let mut installed = 0u64;
         let mut todo: Vec<u64> = Vec::new();
         for (j, n) in self.nodes.iter().enumerate() {
             if j == i || !n.alive {
@@ -475,13 +542,19 @@ impl RdmaEndpoint {
                 continue;
             };
             self.nodes[i].node.install_page(p, &page);
+            installed += 1;
         }
+        installed
     }
 
     /// Erasure-coding resync: for every span group with any materialized
     /// shard, node `i`'s shard (one data lane or one parity, by placement)
-    /// is rebuilt from the `k + m − 1` surviving shards.
-    fn ec_resync(&mut self, i: usize) {
+    /// is rebuilt from the surviving shards. Dead nodes' shards are treated
+    /// as unknowns — their volatile copies are stale for anything written
+    /// during their outage — so a group decodes only while at least `k`
+    /// *live* shards remain. Returns the number of shards installed.
+    fn ec_resync(&mut self, i: usize) -> u64 {
+        let mut installed = 0u64;
         let (ec_k, ec_m, parity_base) = {
             let ec = self.ec_state();
             (ec.rs.k(), ec.rs.m(), ec.parity_base)
@@ -516,6 +589,9 @@ impl RdmaEndpoint {
                         mine = Some((slot, page));
                         return None;
                     }
+                    if !self.nodes[n].alive {
+                        return None;
+                    }
                     Some(
                         self.nodes[n]
                             .node
@@ -535,6 +611,96 @@ impl RdmaEndpoint {
                 continue;
             };
             self.nodes[i].node.install_page(page, data);
+            installed += 1;
+        }
+        installed
+    }
+
+    // ------------------------------------------------------------------
+    // Crash injection + recovery (dilos_sim::recover).
+    // ------------------------------------------------------------------
+
+    /// Arms the crash-recovery machinery: every memory node gets the
+    /// persistent-state model (checkpoints + write-intent log), and — when
+    /// `cfg.crash_at_event` is set — the injector kills `cfg.victim` after
+    /// that many completed data-path verbs, scheduling its repair
+    /// `cfg.repair_delay_ns` later through [`SchedEvent::NodeRepair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.victim` is not a valid node index.
+    pub fn arm_recovery(&mut self, cfg: RecoverConfig) {
+        assert!(cfg.victim < self.nodes.len(), "victim out of range");
+        for n in &mut self.nodes {
+            n.node.arm_persistence(cfg.checkpoint_every);
+        }
+        self.recover = Some(RecoverState {
+            cfg,
+            completed: 0,
+            fired: false,
+            stats: RecoveryStats::default(),
+        });
+    }
+
+    /// Whether [`arm_recovery`](Self::arm_recovery) has been called.
+    pub fn recovery_armed(&self) -> bool {
+        self.recover.is_some()
+    }
+
+    /// Counters of the most recent crash/recovery cycle (zeroes when the
+    /// machinery is disarmed or the injector has not fired).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recover
+            .as_ref()
+            .map_or_else(RecoveryStats::default, |r| RecoveryStats {
+                completions: r.completed,
+                ..r.stats
+            })
+    }
+
+    /// Fault injection for negative tests: drops node `i`'s most recent
+    /// acknowledged intent record, returning its sequence number.
+    pub fn corrupt_drop_intent(&mut self, i: usize) -> Option<u64> {
+        self.nodes[i].node.corrupt_drop_last_intent()
+    }
+
+    /// The injector's completion hook, called after every successful
+    /// data-path verb: counts the completion and, at the configured event
+    /// index, crashes the victim (volatile state lost, liveness down,
+    /// [`TraceEvent::NodeCrash`] emitted) and schedules its repair on the
+    /// calendar. Without a calendar the node stays down until repaired
+    /// directly — the injector never repairs eagerly.
+    fn maybe_crash(&mut self, done: Ns) {
+        let fire = match self.recover.as_mut() {
+            None => return,
+            Some(rec) => {
+                rec.completed += 1;
+                let hit = !rec.fired && rec.cfg.crash_at_event == Some(rec.completed);
+                if hit {
+                    rec.fired = true;
+                }
+                hit
+            }
+        };
+        if !fire {
+            return;
+        }
+        let Some(rec) = self.recover.as_ref() else {
+            return;
+        };
+        let victim = rec.cfg.victim;
+        let delay = rec.cfg.repair_delay_ns;
+        let depth = self.nodes[victim].node.intent_log_depth();
+        if let Some(rec) = self.recover.as_mut() {
+            rec.stats.crashes += 1;
+            rec.stats.log_depth_at_crash = depth;
+        }
+        self.nodes[victim].alive = false;
+        self.nodes[victim].node.crash();
+        self.trace
+            .emit(done, TraceEvent::NodeCrash { node: victim as u8 });
+        if let Some(cal) = &self.calendar {
+            cal.schedule(done + delay, SchedEvent::NodeRepair { node: victim });
         }
     }
 
@@ -704,12 +870,14 @@ impl RdmaEndpoint {
         if self.ec.is_some() {
             let done = self.ec_read(now, core, class, remote, buf)?;
             self.trace_complete(core, class, false, shard, done);
+            self.maybe_crash(done);
             return Ok(done);
         }
         let (ni, penalty) = self.pick_read_node(remote)?;
         let done = self.verb_timing(ni, now + penalty, core, class, buf.len(), 1, true);
         self.nodes[ni].node.read(self.region_of(ni), remote, buf)?;
         self.trace_complete(core, class, false, ni as u8, done);
+        self.maybe_crash(done);
         Ok(done)
     }
 
@@ -729,6 +897,7 @@ impl RdmaEndpoint {
         if self.ec.is_some() {
             let done = self.ec_write(now, core, class, remote, buf)?;
             self.trace_complete(core, class, true, shard, done);
+            self.maybe_crash(done);
             return Ok(done);
         }
         // Synchronous replication: every live replica is written; the
@@ -747,6 +916,7 @@ impl RdmaEndpoint {
         }
         let done = done.ok_or(RdmaError::AllReplicasDown)?;
         self.trace_complete(core, class, true, shard, done);
+        self.maybe_crash(done);
         Ok(done)
     }
 
@@ -966,6 +1136,7 @@ impl RdmaEndpoint {
                 done = done.max(d);
             }
             self.trace_complete(core, class, false, shard, done);
+            self.maybe_crash(done);
             return Ok(done);
         }
         // Vectored verbs address one page, so every segment shares a shard.
@@ -978,6 +1149,7 @@ impl RdmaEndpoint {
                 .read(region, s.remote, &mut buf[s.offset..s.offset + s.len])?;
         }
         self.trace_complete(core, class, false, ni as u8, done);
+        self.maybe_crash(done);
         Ok(done)
     }
 
@@ -1004,6 +1176,7 @@ impl RdmaEndpoint {
                 done = done.max(d);
             }
             self.trace_complete(core, class, true, shard, done);
+            self.maybe_crash(done);
             return Ok(done);
         }
         let replicas: Vec<usize> = self.replicas(segments[0].remote).collect();
@@ -1023,6 +1196,7 @@ impl RdmaEndpoint {
         }
         let done = done.ok_or(RdmaError::AllReplicasDown)?;
         self.trace_complete(core, class, true, shard, done);
+        self.maybe_crash(done);
         Ok(done)
     }
 }

@@ -1,0 +1,221 @@
+//! Memnode crash–recovery: persistent state, write-intent logging, and
+//! detectable replay.
+//!
+//! The paper's §5.1 future work (and the ROADMAP's crash-recovery item)
+//! asks what happens when a memory node *crashes and rejoins* rather than
+//! merely failing over. This module supplies the three pieces:
+//!
+//! 1. **A persistent-state model** (`DurableState`): each armed memory
+//!    node keeps a periodic checkpoint of its page and region tables plus a
+//!    write-intent log. An intent record is appended — durably — *before*
+//!    the write's page copy is acknowledged, so every acknowledged write is
+//!    either inside the checkpoint or inside the log.
+//! 2. **A calendar-driven fault injector** ([`RecoverConfig`]): the RDMA
+//!    endpoint counts completed data-path verbs and kills the victim node
+//!    at the configured event index, then schedules the repair through the
+//!    existing [`SchedEvent::NodeRepair`] path at its virtual time.
+//! 3. **A recovery protocol**: on repair, the node restores the last
+//!    checkpoint, replays the intent log record by record (each replay is
+//!    *detectable* — it emits [`TraceEvent::RecoveryReplay`], which the
+//!    auditor cross-checks against the acknowledged intents), reconciles
+//!    with surviving replicas or EC stripes, and rejoins the replica set.
+//!
+//! The cost model is explicit rather than charged to the calendar: recovery
+//! runs on the control path (like resync), and [`RecoveryStats::recovery_ns`]
+//! reports `replayed × replay_ns_per_record + reconciled × resync_ns_per_page`
+//! so benchmarks can plot recovery latency against intent-log depth without
+//! perturbing data-path timings.
+//!
+//! [`SchedEvent::NodeRepair`]: crate::sched::SchedEvent::NodeRepair
+//! [`TraceEvent::RecoveryReplay`]: crate::trace::TraceEvent::RecoveryReplay
+
+use std::collections::BTreeMap;
+
+use crate::time::{Ns, PAGE_SIZE};
+
+/// Configuration of the crash injector and the recovery cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverConfig {
+    /// Completed-verb index (1-based) at which the victim crashes. `None`
+    /// arms persistence and logging without ever firing the injector — the
+    /// disarmed mode pinned by the tab01 digests.
+    pub crash_at_event: Option<u64>,
+    /// Index of the memory node the injector kills.
+    pub victim: usize,
+    /// Seal a checkpoint once the intent log holds this many records.
+    pub checkpoint_every: u64,
+    /// Virtual delay between the crash and its scheduled repair.
+    pub repair_delay_ns: Ns,
+    /// Modeled replay cost per intent-log record.
+    pub replay_ns_per_record: Ns,
+    /// Modeled reconciliation cost per page resynced from survivors.
+    pub resync_ns_per_page: Ns,
+}
+
+impl Default for RecoverConfig {
+    fn default() -> Self {
+        Self {
+            crash_at_event: None,
+            victim: 0,
+            checkpoint_every: 64,
+            repair_delay_ns: 2_000_000,
+            replay_ns_per_record: 500,
+            resync_ns_per_page: 2_000,
+        }
+    }
+}
+
+/// Counters describing the most recent crash/recovery cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Data-path verb completions observed by the injector — the event
+    /// index space `RecoverConfig::crash_at_event` addresses. A sweep
+    /// takes this from a crash-free run to know the valid crash points.
+    pub completions: u64,
+    /// Crashes the injector has fired.
+    pub crashes: u64,
+    /// Recoveries completed through the repair path.
+    pub recoveries: u64,
+    /// Intent-log depth on the victim at the instant of the crash.
+    pub log_depth_at_crash: u64,
+    /// Intent records replayed during the last recovery.
+    pub replayed: u64,
+    /// Pages reconciled from surviving replicas/EC stripes.
+    pub reconciled: u64,
+    /// Modeled recovery latency (replay + reconciliation).
+    pub recovery_ns: Ns,
+}
+
+/// One write-intent record: the full payload of an acknowledged write,
+/// appended before the page copy so replay can redo it verbatim.
+#[derive(Debug, Clone)]
+pub(crate) struct IntentRecord {
+    /// Monotone, 1-based acknowledgement sequence number.
+    pub seq: u64,
+    /// Remote address the write targeted.
+    pub addr: u64,
+    /// The written bytes.
+    pub data: Vec<u8>,
+}
+
+/// A memory node's durable image: the last sealed checkpoint plus the
+/// intent log of every write acknowledged since.
+///
+/// Volatile state (the live page/region tables) dies with the node; this
+/// struct is what survives a [`MemoryNode::crash`].
+///
+/// [`MemoryNode::crash`]: crate::memnode::MemoryNode::crash
+#[derive(Debug)]
+pub(crate) struct DurableState {
+    /// Page table as of the last checkpoint.
+    pub checkpoint_pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Region table as of the last checkpoint: `key → (base, len)`.
+    pub checkpoint_regions: BTreeMap<u32, (u64, u64)>,
+    /// Highest sequence number the checkpoint covers (0 = none).
+    pub checkpoint_upto: u64,
+    /// Intents acknowledged after the checkpoint, in ack order.
+    pub log: Vec<IntentRecord>,
+    /// Next sequence number to hand out (1-based).
+    pub next_seq: u64,
+    /// Seal a checkpoint once the log reaches this depth.
+    pub checkpoint_every: u64,
+    /// Checkpoints sealed so far.
+    pub checkpoints: u64,
+}
+
+impl DurableState {
+    pub fn new(checkpoint_every: u64) -> Self {
+        Self {
+            checkpoint_pages: BTreeMap::new(),
+            checkpoint_regions: BTreeMap::new(),
+            checkpoint_upto: 0,
+            log: Vec::new(),
+            next_seq: 1,
+            checkpoint_every: checkpoint_every.max(1),
+            checkpoints: 0,
+        }
+    }
+
+    /// Appends (and thereby acknowledges) one write intent, returning its
+    /// sequence number.
+    pub fn append(&mut self, addr: u64, data: &[u8]) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.log.push(IntentRecord {
+            seq,
+            addr,
+            data: data.to_vec(),
+        });
+        seq
+    }
+
+    /// Whether the log is deep enough to seal a checkpoint.
+    pub fn should_checkpoint(&self) -> bool {
+        self.log.len() as u64 >= self.checkpoint_every
+    }
+
+    /// Seals a checkpoint over the given live tables: the checkpoint now
+    /// covers every acknowledged intent, and the log is truncated. Returns
+    /// the sequence number the checkpoint covers up to.
+    pub fn seal(
+        &mut self,
+        pages: &BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+        regions: BTreeMap<u32, (u64, u64)>,
+    ) -> u64 {
+        self.checkpoint_pages = pages.clone();
+        self.checkpoint_regions = regions;
+        self.checkpoint_upto = self.next_seq - 1;
+        self.log.clear();
+        self.checkpoints += 1;
+        self.checkpoint_upto
+    }
+
+    /// Acknowledged intents not yet covered by a checkpoint.
+    pub fn log_depth(&self) -> u64 {
+        self.log.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_one_based_and_monotone() {
+        let mut d = DurableState::new(4);
+        assert_eq!(d.append(0, &[1]), 1);
+        assert_eq!(d.append(8, &[2]), 2);
+        assert_eq!(d.log_depth(), 2);
+        assert!(!d.should_checkpoint());
+    }
+
+    #[test]
+    fn sealing_covers_the_log_and_truncates_it() {
+        let mut d = DurableState::new(2);
+        d.append(0, &[1]);
+        d.append(8, &[2]);
+        assert!(d.should_checkpoint());
+        let pages = BTreeMap::new();
+        let upto = d.seal(&pages, BTreeMap::new());
+        assert_eq!(upto, 2);
+        assert_eq!(d.checkpoint_upto, 2);
+        assert_eq!(d.log_depth(), 0);
+        assert_eq!(d.checkpoints, 1);
+        // The next ack continues the sequence past the checkpoint.
+        assert_eq!(d.append(16, &[3]), 3);
+    }
+
+    #[test]
+    fn checkpoint_every_is_clamped_to_at_least_one() {
+        let d = DurableState::new(0);
+        assert_eq!(d.checkpoint_every, 1);
+    }
+
+    #[test]
+    fn default_config_is_disarmed() {
+        let cfg = RecoverConfig::default();
+        assert_eq!(cfg.crash_at_event, None);
+        assert!(cfg.checkpoint_every > 0);
+        assert!(cfg.repair_delay_ns > 0);
+    }
+}

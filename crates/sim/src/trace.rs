@@ -133,6 +133,25 @@ pub enum TraceEvent {
     /// An app-aware guide ran for `vpn` (`fetch` = fetch-side guide,
     /// otherwise evict-side).
     GuideInvoke { vpn: u64, fetch: bool },
+    /// Memory node `node` sealed a checkpoint covering acknowledged intents
+    /// up to sequence number `upto`.
+    Checkpoint { node: u8, upto: u64 },
+    /// Memory node `node` appended (acknowledged) write-intent `seq` before
+    /// copying the payload into its page table.
+    IntentAppend { node: u8, seq: u64 },
+    /// The fault injector crashed memory node `node`: its volatile state is
+    /// gone; only the durable checkpoint + intent log survive.
+    NodeCrash { node: u8 },
+    /// Recovery replayed intent `seq` onto node `node`'s restored
+    /// checkpoint.
+    RecoveryReplay { node: u8, seq: u64 },
+    /// Node `node` finished recovery: `replayed` intents redone,
+    /// `reconciled` pages resynced from surviving replicas/EC stripes.
+    RecoveryComplete {
+        node: u8,
+        replayed: u64,
+        reconciled: u64,
+    },
 }
 
 impl FaultKind {
@@ -285,6 +304,30 @@ impl TraceEvent {
             GuideInvoke { vpn, fetch } => {
                 out[..3].copy_from_slice(&[19, fetch as u64, vpn]);
                 3
+            }
+            Checkpoint { node, upto } => {
+                out[..3].copy_from_slice(&[20, node as u64, upto]);
+                3
+            }
+            IntentAppend { node, seq } => {
+                out[..3].copy_from_slice(&[21, node as u64, seq]);
+                3
+            }
+            NodeCrash { node } => {
+                out[..2].copy_from_slice(&[22, node as u64]);
+                2
+            }
+            RecoveryReplay { node, seq } => {
+                out[..3].copy_from_slice(&[23, node as u64, seq]);
+                3
+            }
+            RecoveryComplete {
+                node,
+                replayed,
+                reconciled,
+            } => {
+                out[..4].copy_from_slice(&[24, node as u64, replayed, reconciled]);
+                4
             }
         }
     }

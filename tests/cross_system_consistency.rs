@@ -276,6 +276,104 @@ fn trace_derived_metrics_match_hand_counters() {
     }
 }
 
+/// The compatibility claim under fire: an erasure-coded DiLOS pool serving
+/// degraded reads (one node manually dead) while the crash injector kills a
+/// *second* node mid-workload computes the same answer as every healthy
+/// system. k=2, m=2 tolerates both outages; recovery replays the victim's
+/// intent log and reconciles from the surviving shards, and the auditor
+/// (including the no-acknowledged-write-lost invariant) must stay silent.
+#[test]
+fn degraded_reads_with_concurrent_crash_match_healthy_systems() {
+    use dilos::apps::farmem::FarMemory;
+    use dilos::core::{Dilos, DilosConfig, Readahead};
+    use dilos::sim::RecoverConfig;
+
+    const WS_PAGES: u64 = 128;
+    const SEED: u64 = 0xEC0;
+
+    fn populate(mem: &mut dyn FarMemory) -> u64 {
+        let base = mem.alloc((WS_PAGES * 4096) as usize);
+        for p in 0..WS_PAGES {
+            mem.write_u64(0, base + p * 4096, SEED ^ p.wrapping_mul(0x9E37));
+        }
+        base
+    }
+
+    fn storm_and_fold(mem: &mut dyn FarMemory, base: u64) -> u64 {
+        let mut rng = Rng(SEED);
+        for _ in 0..300 {
+            let p = rng.next() % WS_PAGES;
+            let addr = base + p * 4096 + (rng.next() % 500) * 8;
+            if rng.next().is_multiple_of(3) {
+                mem.write_u64(0, addr, rng.next());
+            } else {
+                let _ = mem.read_u64(0, addr);
+            }
+        }
+        let mut fold = 0u64;
+        for p in 0..WS_PAGES {
+            fold = fold
+                .wrapping_mul(131)
+                .wrapping_add(mem.read_u64(0, base + p * 4096));
+        }
+        fold
+    }
+
+    // Reference: the same workload on every healthy system.
+    let mut reference: Option<u64> = None;
+    for kind in SYSTEMS {
+        let mut mem = SystemSpec::for_working_set(kind, WS_PAGES * 4096, 25).boot();
+        let base = populate(mem.as_mut());
+        let fold = storm_and_fold(mem.as_mut(), base);
+        match reference {
+            None => reference = Some(fold),
+            Some(r) => assert_eq!(r, fold, "{}", kind.label()),
+        }
+    }
+    let reference = reference.expect("four systems ran");
+
+    // The EC pool under double trouble, with the crash point calibrated
+    // from an armed-but-uncrashed run of the same sequence.
+    let ec_run = |crash_at: Option<u64>| {
+        let mut n = Dilos::new(DilosConfig {
+            local_pages: 32,
+            remote_bytes: 1 << 24,
+            memory_nodes: 4,
+            erasure: Some((2, 2)),
+            recovery: Some(RecoverConfig {
+                crash_at_event: crash_at,
+                victim: 2,
+                checkpoint_every: 32,
+                repair_delay_ns: 1_500_000,
+                ..RecoverConfig::default()
+            }),
+            obs: Observability::audited(),
+            ..DilosConfig::default()
+        });
+        n.set_prefetcher(Box::new(Readahead::new()));
+        let base = populate(&mut n);
+        n.fail_memory_node(0); // degraded reads from here on
+        let fold = storm_and_fold(&mut n, base);
+        let report = n.audit_report();
+        let reconstructions = n.rdma().reconstructions();
+        (fold, n.recovery_stats(), reconstructions, report)
+    };
+    let (fold_base, base_stats, _, base_report) = ec_run(None);
+    assert!(base_report.is_empty(), "{base_report:#?}");
+    assert_eq!(fold_base, reference, "degraded EC run diverged");
+
+    let crash_at = base_stats.completions / 2;
+    let (fold, stats, reconstructions, report) = ec_run(Some(crash_at));
+    assert!(report.is_empty(), "audit violations: {report:#?}");
+    assert_eq!(stats.crashes, 1, "injector never fired at {crash_at}");
+    assert_eq!(stats.recoveries, 1, "victim never rejoined");
+    assert!(reconstructions > 0, "no degraded read ever decoded");
+    assert_eq!(
+        fold, reference,
+        "crash during degraded reads changed the computation"
+    );
+}
+
 #[test]
 fn far_array_bulk_ops_survive_pressure_everywhere() {
     for kind in SYSTEMS {

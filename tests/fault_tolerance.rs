@@ -8,6 +8,7 @@
 //! replication over a sharded pool.
 
 use dilos::core::{Dilos, DilosConfig, Readahead};
+use dilos::sim::Observability;
 
 fn ec_node(memory_nodes: usize, k: usize, m: usize) -> Dilos {
     let mut n = Dilos::new(DilosConfig {
@@ -15,6 +16,7 @@ fn ec_node(memory_nodes: usize, k: usize, m: usize) -> Dilos {
         remote_bytes: 1 << 24,
         memory_nodes,
         erasure: Some((k, m)),
+        obs: Observability::audited(),
         ..DilosConfig::default()
     });
     n.set_prefetcher(Box::new(Readahead::new()));
@@ -27,10 +29,19 @@ fn node(memory_nodes: usize, replication: usize) -> Dilos {
         remote_bytes: 1 << 24,
         memory_nodes,
         replication,
+        obs: Observability::audited(),
         ..DilosConfig::default()
     });
     n.set_prefetcher(Box::new(Readahead::new()));
     n
+}
+
+/// Degraded and repaired runs must not just read back correctly — every
+/// traced invariant has to hold too (frame conservation, PTE legality,
+/// link-byte accounting, and the recovery invariants when armed).
+fn assert_audit_clean(n: &mut Dilos, ctx: &str) {
+    let report = n.audit_report();
+    assert!(report.is_empty(), "{ctx}: audit violations: {report:#?}");
 }
 
 /// Populates a working set 4× the cache and returns its base (so a good
@@ -88,6 +99,7 @@ fn replicated_node_survives_memory_node_failure() {
     for p in 0..pages {
         assert_eq!(n.read_u64(0, vb + p * 4096), p.wrapping_mul(0x9E37));
     }
+    assert_audit_clean(&mut n, "degraded run");
 }
 
 #[test]
@@ -128,6 +140,7 @@ fn scheduled_repair_lands_at_its_virtual_time() {
             "page {p} lost after post-repair failure"
         );
     }
+    assert_audit_clean(&mut n, "repair + second failure");
 }
 
 #[test]
@@ -221,6 +234,8 @@ fn erasure_coded_node_survives_failure_with_less_overhead() {
         ec.rdma().reconstructions() > 0,
         "EC reads must have decoded"
     );
+    assert_audit_clean(&mut repl, "replicated degraded run");
+    assert_audit_clean(&mut ec, "erasure-coded degraded run");
 }
 
 #[test]
