@@ -331,7 +331,10 @@ impl Heap {
         let Some(idx) = self.page_idx(page_va) else {
             return PageLiveness::Full;
         };
-        match &self.pages[idx] {
+        let Some(state) = self.pages.get(idx) else {
+            return PageLiveness::Full;
+        };
+        match state {
             PageState::Free => PageLiveness::Empty,
             PageState::LargeHead { .. } | PageState::LargeBody => PageLiveness::Full,
             PageState::Small { class, bitmap } => {
@@ -362,16 +365,17 @@ fn coalesce_to(runs: &mut Vec<(usize, usize)>, k: usize) {
         // Find the smallest gap between consecutive runs.
         let mut best = 0;
         let mut best_gap = usize::MAX;
-        for i in 0..runs.len() - 1 {
-            let gap = runs[i + 1].0 - (runs[i].0 + runs[i].1);
+        for (i, w) in runs.windows(2).enumerate() {
+            let gap = w[1].0 - (w[0].0 + w[0].1);
             if gap < best_gap {
                 best_gap = gap;
                 best = i;
             }
         }
         let (o2, l2) = runs.remove(best + 1);
-        let r = &mut runs[best];
-        r.1 = (o2 + l2) - r.0;
+        if let Some(r) = runs.get_mut(best) {
+            r.1 = (o2 + l2) - r.0;
+        }
     }
 }
 

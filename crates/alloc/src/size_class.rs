@@ -21,6 +21,7 @@ pub struct SizeClass(pub(crate) u8);
 impl SizeClass {
     /// The block size of this class, in bytes.
     pub fn block_size(self) -> usize {
+        // dilos-lint: allow(transitive-panic-freedom, "SizeClass wraps a validated index: size_class_of is the only non-test constructor and bounds it")
         SIZE_CLASSES[self.0 as usize]
     }
 

@@ -1,0 +1,114 @@
+//! Self-benchmark for `dilos-lint`: scans the whole workspace twice and
+//! writes `BENCH_lint.json` (lines/sec, files, findings) so the linter's
+//! throughput is tracked PR-over-PR like the paper benchmarks.
+//!
+//! The two scans double as a determinism check: their JSON reports must
+//! be byte-identical or this binary exits non-zero. Host timing is fine
+//! here — this is the bench crate, outside rule R1's scope.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let lines: u64 = count_workspace_lines(&root);
+
+    let t0 = Instant::now();
+    let first = match dilos_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint_bench: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cold = t0.elapsed();
+
+    let t1 = Instant::now();
+    let second = match dilos_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint_bench: rescan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let warm = t1.elapsed();
+
+    if first.to_json() != second.to_json() {
+        eprintln!("lint_bench: two scans disagree — linter is nondeterministic");
+        return ExitCode::FAILURE;
+    }
+
+    let cold_s = cold.as_secs_f64().max(1e-9);
+    let warm_s = warm.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"dilos-lint workspace scan\",\n  \"files_scanned\": {},\n  \"lines_scanned\": {},\n  \"violations\": {},\n  \"suppressions\": {},\n  \"cold_scan_ms\": {:.3},\n  \"warm_scan_ms\": {:.3},\n  \"lines_per_sec_cold\": {:.0},\n  \"lines_per_sec_warm\": {:.0},\n  \"scans_identical\": true\n}}\n",
+        first.files_scanned,
+        lines,
+        first.violations.len(),
+        first.suppressions.len(),
+        cold_s * 1e3,
+        warm_s * 1e3,
+        lines as f64 / cold_s,
+        lines as f64 / warm_s,
+    );
+    let out = root.join("BENCH_lint.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("lint_bench: writing {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    print!("{json}");
+    ExitCode::SUCCESS
+}
+
+/// Total source lines the scan covers (same traversal filters as the
+/// linter: skips hidden dirs, target, and the fixture corpus).
+fn count_workspace_lines(root: &PathBuf) -> u64 {
+    fn walk(root: &PathBuf, dir: &PathBuf, total: &mut u64) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for e in entries.flatten() {
+            let path = e.path();
+            let name = e.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                let rel = path
+                    .strip_prefix(root)
+                    .map(|r| r.to_string_lossy().replace(std::path::MAIN_SEPARATOR, "/"))
+                    .unwrap_or_default();
+                if name.starts_with('.')
+                    || name == "target"
+                    || name == "node_modules"
+                    || rel == "crates/lint/tests/fixtures"
+                {
+                    continue;
+                }
+                walk(root, &path, total);
+            } else if name.ends_with(".rs") {
+                if let Ok(src) = std::fs::read_to_string(&path) {
+                    *total += src.lines().count() as u64;
+                }
+            }
+        }
+    }
+    let mut total = 0;
+    walk(root, root, &mut total);
+    total
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`; falls back to the current directory.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! implementation. The experiment ↔ paper mapping lives in DESIGN.md; the
 //! measured-vs-paper comparison in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod apps_exp;
 pub mod loadgen;

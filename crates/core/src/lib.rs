@@ -29,6 +29,8 @@
 //! latency it reports is deterministic and calibrated to the paper's
 //! testbed. See the workspace DESIGN.md for the substitution ledger.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod cluster;
 pub mod compat;

@@ -1,0 +1,452 @@
+//! The crate-wide call graph and its derived facts.
+//!
+//! Built from every file's parsed items plus per-function summaries, the
+//! [`Model`] resolves call sites to function nodes and precomputes the
+//! two closures the interprocedural rules need:
+//!
+//! - **reachability with parents** (rule R6): a multi-source BFS from all
+//!   hot-path roots, recording one parent per reached function so the
+//!   *shortest* offending call chain can be reported;
+//! - **transitive borrow sets** (rule R7): for every function, the set of
+//!   `RefCell` cells (by inner type name) that it or any transitive
+//!   callee borrows, computed as a cycle-safe fixpoint.
+//!
+//! Resolution policy (deliberately conservative — a wrong edge fabricates
+//! violations, a missing edge merely weakens a rule):
+//!
+//! - `recv.method(...)` with a known receiver type resolves against the
+//!   `(type, method)` map, preferring a same-crate definition when two
+//!   crates declare a type with the same name;
+//! - an *unknown* receiver resolves only when the method name is defined
+//!   exactly once in the whole workspace and is not a common std name;
+//! - free calls resolve when the name is unique among free functions;
+//! - anything else creates no edge.
+
+use crate::lexer::{lex, Lexed};
+use crate::parser::{parse_items, FileItems, FnItem, VariantItem};
+use crate::report::PathStep;
+use crate::summary::{CallTarget, FnSummary, Summarizer, TypeTables};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names too generic to resolve through the unknown-receiver
+/// fallback — they collide with std container APIs constantly.
+const STD_COMMON: [&str; 40] = [
+    "new", "default", "len", "is_empty", "push", "pop", "insert", "remove", "get", "clone", "iter",
+    "next", "clear", "contains", "take", "set", "reset", "run", "find", "map", "filter", "fold",
+    "any", "all", "position", "swap", "sort", "extend", "drain", "retain", "first", "last",
+    "count", "min", "max", "rev", "zip", "entry", "write", "read",
+];
+
+/// One lexed + parsed source file.
+pub struct FileAnalysis {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    pub lexed: Lexed,
+    pub items: FileItems,
+}
+
+impl FileAnalysis {
+    pub fn new(path: &str, src: &str) -> FileAnalysis {
+        let lexed = lex(src);
+        let items = parse_items(&lexed.tokens);
+        FileAnalysis {
+            path: path.to_string(),
+            lexed,
+            items,
+        }
+    }
+}
+
+/// A function node: its item, summary, and resolved call edges.
+pub struct FnNode {
+    pub file: String,
+    pub item: FnItem,
+    pub summary: FnSummary,
+    /// Resolved callee (node index) per summary call site, parallel to
+    /// `summary.calls`.
+    pub resolved: Vec<Option<usize>>,
+}
+
+impl FnNode {
+    /// `Type::name` or `name` for reports.
+    pub fn qual_name(&self) -> String {
+        match &self.item.impl_type {
+            Some(t) => format!("{t}::{}", self.item.name),
+            None => self.item.name.clone(),
+        }
+    }
+
+    /// The call-path step for this function.
+    pub fn path_step(&self) -> PathStep {
+        PathStep {
+            label: self.qual_name(),
+            file: self.file.clone(),
+            line: self.item.line,
+        }
+    }
+}
+
+/// Whether a path is a test/bench/example target in its entirety.
+pub fn is_test_target(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// Whether a path is in the hot-path crates (`crates/core`, `crates/sim`).
+pub fn is_hot_crate(path: &str) -> bool {
+    path.starts_with("crates/core/") || path.starts_with("crates/sim/")
+}
+
+fn crate_of(path: &str) -> &str {
+    match path
+        .find('/')
+        .and_then(|a| path[a + 1..].find('/').map(|b| &path[..a + 1 + b]))
+    {
+        Some(c) => c,
+        None => path,
+    }
+}
+
+/// The whole-workspace call graph.
+pub struct Model {
+    pub fns: Vec<FnNode>,
+    /// Enum variants of interest (R9), with the file declaring them.
+    pub variants: Vec<(String, VariantItem)>,
+}
+
+impl Model {
+    /// Builds the model: type tables, summaries, and resolved edges.
+    pub fn build(files: &[FileAnalysis]) -> Model {
+        // Global item collections.
+        let mut all_fields = Vec::new();
+        let mut fns_src: Vec<(String, FnItem)> = Vec::new();
+        let mut variants = Vec::new();
+        for f in files {
+            all_fields.extend(f.items.fields.iter().cloned());
+            for item in &f.items.fns {
+                fns_src.push((f.path.clone(), item.clone()));
+            }
+            for v in &f.items.variants {
+                variants.push((f.path.clone(), v.clone()));
+            }
+        }
+        let tables = TypeTables::build(&all_fields, &fns_src);
+
+        // Summaries, per file so the summarizer sees the right tokens.
+        let mut fns: Vec<FnNode> = Vec::new();
+        for f in files {
+            for item in &f.items.fns {
+                let summary = Summarizer {
+                    tokens: &f.lexed.tokens,
+                    tables: &tables,
+                    impl_type: item.impl_type.as_deref(),
+                }
+                .summarize(item);
+                fns.push(FnNode {
+                    file: f.path.clone(),
+                    item: item.clone(),
+                    summary,
+                    resolved: Vec::new(),
+                });
+            }
+        }
+
+        // Resolution maps.
+        let mut methods: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        let mut frees: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, n) in fns.iter().enumerate() {
+            match &n.item.impl_type {
+                Some(t) => {
+                    methods
+                        .entry((t.clone(), n.item.name.clone()))
+                        .or_default()
+                        .push(i);
+                }
+                None => frees.entry(n.item.name.clone()).or_default().push(i),
+            }
+            by_name.entry(n.item.name.clone()).or_default().push(i);
+        }
+
+        let fn_files: Vec<String> = fns.iter().map(|n| n.file.clone()).collect();
+        let pick = |cands: &[usize], caller_file: &str| -> Option<usize> {
+            match cands.len() {
+                0 => None,
+                1 => Some(cands[0]),
+                _ => {
+                    let same: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| crate_of(&fn_files[c]) == crate_of(caller_file))
+                        .collect();
+                    if same.len() == 1 {
+                        Some(same[0])
+                    } else {
+                        None
+                    }
+                }
+            }
+        };
+
+        for node in &mut fns {
+            let mut resolved = Vec::with_capacity(node.summary.calls.len());
+            for call in &node.summary.calls {
+                let target = match &call.target {
+                    CallTarget::Method {
+                        recv: Some(ty),
+                        name,
+                    }
+                    | CallTarget::Assoc { ty, name } => methods
+                        .get(&(ty.clone(), name.clone()))
+                        .and_then(|c| pick(c, &node.file)),
+                    CallTarget::Method { recv: None, name } => {
+                        if STD_COMMON.contains(&name.as_str()) {
+                            None
+                        } else {
+                            match by_name.get(name) {
+                                Some(c) if c.len() == 1 => Some(c[0]),
+                                _ => None,
+                            }
+                        }
+                    }
+                    CallTarget::Free { name } => match frees.get(name) {
+                        Some(c) if c.len() == 1 => Some(c[0]),
+                        _ => None,
+                    },
+                };
+                // A function never creates an edge to itself for rule
+                // purposes via trivial recursion — keep the edge anyway;
+                // BFS and the fixpoint are cycle-safe.
+                resolved.push(target);
+            }
+            node.resolved = resolved;
+        }
+
+        Model { fns, variants }
+    }
+
+    /// A function is live analysis material (not test code).
+    pub fn is_live(&self, i: usize) -> bool {
+        !self.fns[i].item.in_test && !is_test_target(&self.fns[i].file)
+    }
+
+    /// Multi-source BFS from `roots`; returns per-node parent indices
+    /// (`usize::MAX` for unreached, `i == parent[i]` for roots).
+    pub fn reach_parents(&self, roots: &[usize]) -> Vec<usize> {
+        let mut parent = vec![usize::MAX; self.fns.len()];
+        let mut q = VecDeque::new();
+        for &r in roots {
+            if parent[r] == usize::MAX {
+                parent[r] = r;
+                q.push_back(r);
+            }
+        }
+        while let Some(f) = q.pop_front() {
+            for callee in self.fns[f].resolved.iter().flatten() {
+                if parent[*callee] == usize::MAX {
+                    parent[*callee] = f;
+                    q.push_back(*callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain root → … → `i`, as report path steps.
+    pub fn chain_to(&self, parent: &[usize], mut i: usize) -> Vec<PathStep> {
+        let mut rev = vec![i];
+        while parent[i] != i && parent[i] != usize::MAX {
+            i = parent[i];
+            rev.push(i);
+        }
+        rev.reverse();
+        rev.iter().map(|&f| self.fns[f].path_step()).collect()
+    }
+
+    /// Transitive borrow sets: for each fn, every cell its call tree
+    /// borrows (directly or through any callee). Cycle-safe fixpoint.
+    pub fn transitive_borrows(&self) -> Vec<BTreeSet<String>> {
+        let mut sets: Vec<BTreeSet<String>> = self
+            .fns
+            .iter()
+            .map(|n| n.summary.borrows.iter().map(|b| b.cell.clone()).collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..self.fns.len() {
+                for callee in self.fns[i].resolved.iter().flatten() {
+                    if *callee == i {
+                        continue;
+                    }
+                    let add: Vec<String> = sets[*callee]
+                        .iter()
+                        .filter(|c| !sets[i].contains(*c))
+                        .cloned()
+                        .collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        sets[i].extend(add);
+                    }
+                }
+            }
+            if !changed {
+                return sets;
+            }
+        }
+    }
+
+    /// Shortest chain from `start` to a fn that *directly* borrows `cell`
+    /// (used to explain R7 findings). Returns path steps, ending with
+    /// the borrowing function.
+    pub fn borrow_chain(&self, start: usize, cell: &str) -> Vec<PathStep> {
+        let mut parent = vec![usize::MAX; self.fns.len()];
+        parent[start] = start;
+        let mut q = VecDeque::from([start]);
+        while let Some(f) = q.pop_front() {
+            if self.fns[f].summary.borrows.iter().any(|b| b.cell == cell) {
+                return self.chain_to(&parent, f);
+            }
+            for callee in self.fns[f].resolved.iter().flatten() {
+                if parent[*callee] == usize::MAX {
+                    parent[*callee] = f;
+                    q.push_back(*callee);
+                }
+            }
+        }
+        vec![self.fns[start].path_step()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(files: &[(&str, &str)]) -> Model {
+        let fas: Vec<FileAnalysis> = files.iter().map(|(p, s)| FileAnalysis::new(p, s)).collect();
+        Model::build(&fas)
+    }
+
+    fn idx(m: &Model, name: &str) -> usize {
+        m.fns
+            .iter()
+            .position(|n| n.item.name == name)
+            .unwrap_or_else(|| panic!("fn {name} not found"))
+    }
+
+    #[test]
+    fn method_receiver_resolution_creates_edges() {
+        let m = model_of(&[(
+            "crates/core/src/a.rs",
+            r#"
+            struct Guide { heap: Rc<RefCell<Heap>> }
+            struct Heap { pages: Vec<u64> }
+            impl Heap {
+                fn live(&self) -> u64 { self.pages[0] }
+            }
+            impl Guide {
+                fn pattern(&self) -> u64 { self.heap.borrow().live() }
+            }
+            "#,
+        )]);
+        let pattern = idx(&m, "pattern");
+        let live = idx(&m, "live");
+        assert_eq!(
+            m.fns[pattern].resolved,
+            vec![Some(live)],
+            "borrow() peels the cell, `.live()` resolves on Heap"
+        );
+    }
+
+    #[test]
+    fn same_crate_definition_wins_on_type_name_clash() {
+        let m = model_of(&[
+            (
+                "crates/core/src/a.rs",
+                "struct W; impl W { fn go(&self) {} } fn core_user(w: W) { w.go(); }",
+            ),
+            (
+                "crates/apps/src/b.rs",
+                "struct W; impl W { fn go(&self) {} } fn app_user(w: W) { w.go(); }",
+            ),
+        ]);
+        let cu = idx(&m, "core_user");
+        let au = idx(&m, "app_user");
+        let core_go = m
+            .fns
+            .iter()
+            .position(|n| n.item.name == "go" && n.file.starts_with("crates/core/"))
+            .unwrap();
+        let app_go = m
+            .fns
+            .iter()
+            .position(|n| n.item.name == "go" && n.file.starts_with("crates/apps/"))
+            .unwrap();
+        assert_eq!(m.fns[cu].resolved, vec![Some(core_go)]);
+        assert_eq!(m.fns[au].resolved, vec![Some(app_go)]);
+    }
+
+    #[test]
+    fn recursion_does_not_hang_closures() {
+        let m = model_of(&[(
+            "crates/core/src/a.rs",
+            r#"
+            struct C { cell: Rc<RefCell<Inner>> }
+            struct Inner { n: u64 }
+            impl C {
+                fn even(&self, n: u64) -> bool { self.odd(n) }
+                fn odd(&self, n: u64) -> bool { self.peek(); self.even(n) }
+                fn peek(&self) { let g = self.cell.borrow(); }
+            }
+            "#,
+        )]);
+        let sets = m.transitive_borrows();
+        let even = idx(&m, "even");
+        assert!(
+            sets[even].contains("Inner"),
+            "mutual recursion still propagates borrow facts"
+        );
+        let parent = m.reach_parents(&[even]);
+        assert_ne!(parent[idx(&m, "peek")], usize::MAX);
+    }
+
+    #[test]
+    fn reach_reports_shortest_chain() {
+        let m = model_of(&[(
+            "crates/core/src/a.rs",
+            r#"
+            fn root() { mid(); deep1(); }
+            fn mid() { sink(); }
+            fn deep1() { deep2(); }
+            fn deep2() { sink(); }
+            fn sink() {}
+            "#,
+        )]);
+        let parent = m.reach_parents(&[idx(&m, "root")]);
+        let chain = m.chain_to(&parent, idx(&m, "sink"));
+        assert_eq!(chain.len(), 3, "root -> mid -> sink, not the deep route");
+        assert_eq!(chain[0].label, "root");
+        assert_eq!(chain[1].label, "mid");
+        assert_eq!(chain[2].label, "sink");
+    }
+
+    #[test]
+    fn common_std_names_do_not_resolve_blind() {
+        let m = model_of(&[(
+            "crates/core/src/a.rs",
+            r#"
+            struct S { v: u64 }
+            impl S { fn get(&self) -> u64 { self.v } }
+            fn user(x: &Unknown) { x.get(); }
+            "#,
+        )]);
+        let u = idx(&m, "user");
+        assert_eq!(
+            m.fns[u].resolved,
+            vec![None],
+            "blind `.get()` stays unresolved"
+        );
+    }
+}

@@ -9,7 +9,11 @@
 //! hash-order iteration, hot-path panics, stale trace timestamps, ambient
 //! randomness) cannot be reintroduced silently.
 //!
-//! Five named rules (see [`rules::RULES`]):
+//! Ten named rules (see [`rules::RULES`]). R1–R5 are token-level and
+//! per-file; R6–R10 (the v2 families) are *interprocedural*: a
+//! hand-rolled item parser ([`parser`]) feeds per-function effect
+//! summaries ([`summary`]) into a crate-wide call graph ([`graph`]), and
+//! the rules in [`rules2`] walk its closures.
 //!
 //! | rule | slug | invariant it protects |
 //! |------|------|-----------------------|
@@ -18,6 +22,11 @@
 //! | R3 | `no-unwrap-in-hot-path` | survivability — no `unwrap`/`expect`/`panic!` in `crates/core`/`crates/sim` non-test code |
 //! | R4 | `calendar-time-only` | trace fidelity — `TraceSink::emit` times come from the live clock |
 //! | R5 | `no-ambient-rand` | reproducibility — randomness only via `dilos_sim::rng` seeded streams |
+//! | R6 | `transitive-panic-freedom` | survivability — hot-path fns must not *reach* a panic site through any call chain |
+//! | R7 | `refcell-borrow-overlap` | no runtime `BorrowMutError` — a live `borrow_mut()` may not span a call that re-borrows the same cell |
+//! | R8 | `ns-arithmetic-safety` | no silent time wraparound — `+`/`*` on `Ns` in sched/fabric/rdma/timeline must be `saturating_`/`checked_` |
+//! | R9 | `trace-event-coverage` | observability — every `TraceEvent`/`SchedEvent` variant is emitted *and* consumed |
+//! | R10 | `schedule-time-monotonicity` | calendar sanity — `schedule(...)` times derive from `now`, never literals or host clocks |
 //!
 //! Sites that are individually justified carry an inline suppression:
 //!
@@ -32,16 +41,53 @@
 //! registry dependencies**: the tokenizer, rule engine, and JSON writer
 //! are all hand-rolled.
 
+#![forbid(unsafe_code)]
+
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod rules2;
+pub mod sarif;
+pub mod summary;
 
-pub use report::{Report, Suppression, Violation};
+pub use report::{PathStep, Report, Suppression, Violation};
 pub use rules::{lint_source, Scope, RULES};
 
+use graph::{FileAnalysis, Model};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Lints a set of files *together*: per-file token rules first, then the
+/// interprocedural families over the crate-wide call graph.
+///
+/// This is the real entry point — [`lint_source`] and [`scan_workspace`]
+/// both route through it. Inputs are `(workspace-relative path, source)`
+/// pairs; the report is sorted and suppression-filtered.
+pub fn lint_files(inputs: &[(String, String)]) -> Report {
+    let mut violations = Vec::new();
+    let mut suppressions = Vec::new();
+    let mut files = Vec::with_capacity(inputs.len());
+    for (path, src) in inputs {
+        let fa = FileAnalysis::new(path, src);
+        rules::run_intra(path, &fa.lexed.tokens, &mut violations);
+        suppressions.extend(rules::parse_suppressions(path, &fa.lexed.comments));
+        files.push(fa);
+    }
+    let model = Model::build(&files);
+    rules2::rule_transitive_panic(&model, &mut violations);
+    rules2::rule_borrow_overlap(&model, &mut violations);
+    rules2::rule_event_coverage(&files, &model, &mut violations);
+    let mut report = Report {
+        violations: rules::apply_suppressions(violations, &mut suppressions),
+        suppressions,
+        files_scanned: inputs.len(),
+    };
+    report.sort();
+    report
+}
 
 /// Directories never scanned (build output, VCS, and the deliberately
 /// violating lint fixtures).
@@ -60,16 +106,15 @@ pub fn scan_workspace(root: &Path) -> io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut report = Report::default();
+    let mut inputs = Vec::with_capacity(files.len());
     for rel in files {
         let src = fs::read_to_string(root.join(&rel))?;
         let rel_str = rel
             .to_string_lossy()
             .replace(std::path::MAIN_SEPARATOR, "/");
-        report.absorb(lint_source(&rel_str, &src));
+        inputs.push((rel_str, src));
     }
-    report.sort();
-    Ok(report)
+    Ok(lint_files(&inputs))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -89,7 +134,10 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Resu
                 .file_name()
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default();
-            if SKIP_DIRS.contains(&name.as_str()) || rel_str == FIXTURE_DIR {
+            // Hidden directories (`.git`, editor state, tooling snapshots)
+            // are never part of the workspace source tree.
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) || rel_str == FIXTURE_DIR
+            {
                 continue;
             }
             collect_rs_files(root, &path, out)?;

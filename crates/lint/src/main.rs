@@ -1,23 +1,44 @@
 //! The `dilos-lint` CLI.
 //!
 //! ```text
-//! dilos-lint [--json] [--root <path>]
+//! dilos-lint [--json] [--format human|json|sarif] [--root <path>]
 //! ```
 //!
-//! Scans every `.rs` file in the workspace and prints either a human
-//! report or machine-readable JSON. Exit status is non-zero when any
-//! violation survives suppression, so CI can gate on it directly.
+//! Scans every `.rs` file in the workspace and prints a human report,
+//! machine-readable JSON, or SARIF 2.1.0 for code-scanning upload
+//! (`--json` is shorthand for `--format json`). Exit status is non-zero
+//! when any violation survives suppression, so CI can gate on it
+//! directly.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!(
+                            "dilos-lint: --format requires human, json, or sarif (got {other:?})"
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--root" => {
                 root = args.next().map(PathBuf::from);
                 if root.is_none() {
@@ -26,7 +47,7 @@ fn main() -> ExitCode {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: dilos-lint [--json] [--root <path>]");
+                println!("usage: dilos-lint [--json] [--format human|json|sarif] [--root <path>]");
                 println!("rules:");
                 for (code, slug) in dilos_lint::RULES {
                     println!("  {code}  {slug}");
@@ -48,10 +69,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if json {
-        print!("{}", report.to_json());
-    } else {
-        print!("{}", report.to_human());
+    match format {
+        Format::Human => print!("{}", report.to_human()),
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => print!("{}", dilos_lint::sarif::to_sarif(&report)),
     }
     if report.violations.is_empty() {
         ExitCode::SUCCESS

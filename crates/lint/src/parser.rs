@@ -1,0 +1,719 @@
+//! A lightweight item-level Rust parser on top of the token stream.
+//!
+//! `dilos-lint` v1 saw only tokens; the interprocedural rules (R6–R10)
+//! need *items*: which function a token belongs to, what type an `impl`
+//! block targets, what a struct's fields are typed as, and what variants
+//! an enum declares. This module extracts exactly that — no expressions,
+//! no generics unification, no trait solving. It is a structural pass in
+//! the same hand-rolled spirit as the lexer: deterministic, registry-free,
+//! and pinned by fixtures rather than by a grammar.
+//!
+//! What it understands:
+//!
+//! - `impl Type { ... }` and `impl Trait for Type { ... }` blocks (the
+//!   *target* type names methods; generic arguments are peeled).
+//! - `fn name(params) -> Ret { body }` items, free or associated, with
+//!   parameter names/base types, a `self` receiver flag, and the token
+//!   range of the body.
+//! - `struct Name { field: Type, ... }` field declarations (tuple structs
+//!   are skipped — nothing in the rules needs positional fields).
+//! - `enum Name { Variant, Variant { .. }, Variant(T) }` variant names
+//!   with their declaration lines.
+//!
+//! Smart-pointer noise is peeled eagerly: a field declared
+//! `Rc<RefCell<CalendarCore>>` resolves to base type `CalendarCore`, and
+//! the fact that a `RefCell` layer was crossed is recorded separately
+//! (that is what rule R7 keys its borrow-overlap cells on).
+
+use crate::lexer::{TokKind, Token};
+
+/// A function's parameter: simple-identifier pattern plus base type.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    /// Peeled base type name (`Ns`, `Calendar`, ...); empty when the type
+    /// is not a plain path (closures, trait objects, tuples).
+    pub ty: String,
+    /// Whether a `RefCell<...>` layer was peeled to reach `ty`.
+    pub ref_cell: bool,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// The `impl` target type (or trait, for default methods) owning this
+    /// function; `None` for free functions.
+    pub impl_type: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    pub params: Vec<Param>,
+    /// Peeled base type of the declared return type (empty for `()` or
+    /// non-path returns).
+    pub ret: String,
+    /// Token index range of the body block, *excluding* the outer braces.
+    /// Empty for bodiless trait signatures.
+    pub body: std::ops::Range<usize>,
+    /// True when the `fn` token sits in `#[cfg(test)]`/`#[test]` scope.
+    pub in_test: bool,
+}
+
+/// One struct field: `name: Type`.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Owning struct name.
+    pub owner: String,
+    pub name: String,
+    /// Peeled base type.
+    pub ty: String,
+    /// Whether a `RefCell<...>` layer was peeled to reach `ty` — such a
+    /// field is a *borrow cell* for rule R7.
+    pub ref_cell: bool,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone)]
+pub struct VariantItem {
+    /// Owning enum name.
+    pub owner: String,
+    pub name: String,
+    /// 1-indexed line the variant name sits on.
+    pub line: u32,
+    /// True when the enum is declared in test scope.
+    pub in_test: bool,
+}
+
+/// All items extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub fields: Vec<FieldItem>,
+    pub variants: Vec<VariantItem>,
+    /// Enum names with a `use <Enum>::*;` glob in this file (bare variant
+    /// names then count as variant usages).
+    pub glob_enums: Vec<String>,
+}
+
+/// Wrapper type names peeled when resolving a base type. `RefCell` is
+/// peeled too, but its crossing is reported to the caller.
+const WRAPPERS: [&str; 9] = [
+    "Rc", "Arc", "Box", "Option", "Cell", "Ref", "RefMut", "Vec", "rc",
+];
+
+/// Peels `Rc<RefCell<T>>`-style wrappers from the type starting at `i`
+/// (just past any `&`/`mut`). Returns `(base, crossed_ref_cell)`; `base`
+/// is empty when no plain path type is found.
+pub fn peel_type(tokens: &[Token], mut i: usize, end: usize) -> (String, bool) {
+    let mut ref_cell = false;
+    loop {
+        // Skip references and mutability.
+        while i < end {
+            match &tokens[i].kind {
+                TokKind::Punct('&') | TokKind::Lifetime => i += 1,
+                TokKind::Ident(s) if s == "mut" || s == "dyn" => i += 1,
+                _ => break,
+            }
+        }
+        // Walk a `seg::seg::Name` path, keeping the last segment.
+        let mut name = String::new();
+        while i < end {
+            if let TokKind::Ident(s) = &tokens[i].kind {
+                name = s.clone();
+                i += 1;
+                if i + 1 < end
+                    && matches!(&tokens[i].kind, TokKind::Punct(':'))
+                    && matches!(&tokens[i + 1].kind, TokKind::Punct(':'))
+                {
+                    i += 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        if name.is_empty() {
+            return (String::new(), ref_cell);
+        }
+        if name == "RefCell" {
+            ref_cell = true;
+        }
+        let is_wrapper = name == "RefCell" || WRAPPERS.contains(&name.as_str());
+        // Descend into `<...>` generic arguments of a wrapper.
+        if is_wrapper && i < end && matches!(&tokens[i].kind, TokKind::Punct('<')) {
+            i += 1;
+            continue;
+        }
+        return (name, ref_cell);
+    }
+}
+
+/// Extracts items from a lexed file.
+pub fn parse_items(tokens: &[Token]) -> FileItems {
+    let mut out = FileItems::default();
+    // Stack of (brace_depth_at_open, impl_target) for impl/trait blocks.
+    let mut impl_stack: Vec<(i32, String)> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                if impl_stack.last().is_some_and(|(d, _)| *d == depth) {
+                    impl_stack.pop();
+                }
+                depth -= 1;
+                i += 1;
+            }
+            TokKind::Ident(kw) if kw == "impl" || kw == "trait" => {
+                if let Some((target, open)) = parse_impl_header(tokens, i, kw == "trait") {
+                    impl_stack.push((depth + 1, target));
+                    depth += 1;
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident(kw) if kw == "fn" => {
+                let impl_type = impl_stack.last().map(|(_, t)| t.clone());
+                if let Some((f, next)) = parse_fn(tokens, i, impl_type) {
+                    i = next;
+                    out.fns.push(f);
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Ident(kw) if kw == "struct" => {
+                i = parse_struct(tokens, i, &mut out);
+            }
+            TokKind::Ident(kw) if kw == "enum" => {
+                i = parse_enum(tokens, i, &mut out);
+            }
+            TokKind::Ident(kw) if kw == "use" => {
+                // `use Path::To::Enum::*;` — record the glob's last named
+                // segment.
+                let mut j = i + 1;
+                let mut last = String::new();
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokKind::Ident(s) => last = s.clone(),
+                        TokKind::Punct(':') => {}
+                        TokKind::Punct('*') => {
+                            if !last.is_empty() {
+                                out.glob_enums.push(last.clone());
+                            }
+                            break;
+                        }
+                        _ => break,
+                    }
+                    j += 1;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses an `impl`/`trait` header starting at the keyword. Returns the
+/// target type name and the index of the opening `{`.
+fn parse_impl_header(tokens: &[Token], kw: usize, is_trait: bool) -> Option<(String, usize)> {
+    let mut i = kw + 1;
+    // Skip `<...>` generic parameters on the impl itself.
+    if matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+        i = skip_angle(tokens, i)?;
+    }
+    let mut names: Vec<String> = Vec::new();
+    let mut after_for = false;
+    let mut target = String::new();
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokKind::Punct('{') => {
+                let name = if after_for || names.len() == 1 || is_trait {
+                    names.last().cloned().unwrap_or_default()
+                } else {
+                    // `impl Trait for Type` without seeing `for` means a
+                    // malformed header; fall back to the last name.
+                    names.last().cloned().unwrap_or_default()
+                };
+                let name = if target.is_empty() { name } else { target };
+                if name.is_empty() {
+                    return None;
+                }
+                return Some((name, i));
+            }
+            TokKind::Punct(';') => return None, // `impl Trait for Type;` — nothing to do
+            TokKind::Ident(s) if s == "for" => {
+                after_for = true;
+                names.clear();
+                i += 1;
+            }
+            TokKind::Ident(s) if s == "where" => {
+                // The target is settled before `where`.
+                target = names.last().cloned().unwrap_or_default();
+                i += 1;
+            }
+            TokKind::Punct('<') => {
+                i = skip_angle(tokens, i)?;
+            }
+            TokKind::Ident(s) => {
+                names.push(s.clone());
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Skips a balanced `<...>` group starting at the `<`. Returns the index
+/// just past the matching `>`.
+fn skip_angle(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            // `(`/`{` inside generics would be a fn pointer or const
+            // generic block; skip them balanced too.
+            TokKind::Punct('(') | TokKind::Punct('{') | TokKind::Punct('[') => {
+                i = skip_group(tokens, i)?;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Skips a balanced `(...)`, `[...]`, or `{...}` group starting at the
+/// opener. Returns the index just past the closer.
+pub fn skip_group(tokens: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match tokens.get(open).map(|t| &t.kind) {
+        Some(TokKind::Punct('(')) => ('(', ')'),
+        Some(TokKind::Punct('[')) => ('[', ']'),
+        Some(TokKind::Punct('{')) => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokKind::Punct(p) if *p == o => depth += 1,
+            TokKind::Punct(p) if *p == c => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses `fn name(params) [-> Ret] { body }` starting at the `fn`
+/// keyword. Returns the item and the index to continue from (just past
+/// the parameter list — the body is walked by the caller's main loop so
+/// nested items inside bodies are still discovered).
+fn parse_fn(tokens: &[Token], kw: usize, impl_type: Option<String>) -> Option<(FnItem, usize)> {
+    let name_idx = kw + 1;
+    let TokKind::Ident(name) = &tokens.get(name_idx)?.kind else {
+        return None;
+    };
+    let mut i = name_idx + 1;
+    if matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+        i = skip_angle(tokens, i)?;
+    }
+    let paren_open = i;
+    if !matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct('('))) {
+        return None;
+    }
+    let paren_close = skip_group(tokens, paren_open)?; // index past `)`
+    let (has_self, params) = parse_params(tokens, paren_open + 1, paren_close - 1);
+    // Return type: `-> Ret` immediately after the parameter list.
+    let mut ret = String::new();
+    if matches!(
+        tokens.get(paren_close).map(|t| &t.kind),
+        Some(TokKind::Punct('-'))
+    ) && matches!(
+        tokens.get(paren_close + 1).map(|t| &t.kind),
+        Some(TokKind::Punct('>'))
+    ) {
+        let mut end = paren_close + 2;
+        while end < tokens.len()
+            && !matches!(&tokens[end].kind, TokKind::Punct('{') | TokKind::Punct(';'))
+        {
+            if let TokKind::Ident(w) = &tokens[end].kind {
+                if w == "where" {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        ret = peel_type(tokens, paren_close + 2, end).0;
+    }
+    // Find the body `{` (skipping `-> Ret` and `where` clauses) or a `;`.
+    let mut j = paren_close;
+    let mut body = 0..0;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokKind::Punct('{') => {
+                let past = skip_group(tokens, j)?;
+                body = (j + 1)..(past - 1);
+                break;
+            }
+            TokKind::Punct(';') => break,
+            TokKind::Punct('<') => {
+                j = skip_angle(tokens, j)?;
+            }
+            TokKind::Punct('(') | TokKind::Punct('[') => {
+                j = skip_group(tokens, j)?;
+            }
+            _ => j += 1,
+        }
+    }
+    Some((
+        FnItem {
+            name: name.clone(),
+            impl_type,
+            line: tokens[kw].line,
+            has_self,
+            params,
+            ret,
+            body,
+            in_test: tokens[kw].in_test,
+        },
+        paren_close,
+    ))
+}
+
+/// Parses a parameter list between `start..end` (exclusive of parens).
+fn parse_params(tokens: &[Token], start: usize, end: usize) -> (bool, Vec<Param>) {
+    let mut params = Vec::new();
+    let mut has_self = false;
+    let mut i = start;
+    // Split on top-level commas.
+    let mut seg_start = i;
+    let mut depth = 0i32;
+    let mut segs: Vec<(usize, usize)> = Vec::new();
+    while i < end {
+        match &tokens[i].kind {
+            TokKind::Punct('(')
+            | TokKind::Punct('[')
+            | TokKind::Punct('{')
+            | TokKind::Punct('<') => depth += 1,
+            TokKind::Punct(')')
+            | TokKind::Punct(']')
+            | TokKind::Punct('}')
+            | TokKind::Punct('>') => depth -= 1,
+            TokKind::Punct(',') if depth == 0 => {
+                segs.push((seg_start, i));
+                seg_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if seg_start < end {
+        segs.push((seg_start, end));
+    }
+    for (s, e) in segs {
+        let mut j = s;
+        // Receiver?
+        let mut k = j;
+        while k < e {
+            match &tokens[k].kind {
+                TokKind::Punct('&') | TokKind::Lifetime => k += 1,
+                TokKind::Ident(m) if m == "mut" => k += 1,
+                TokKind::Ident(m) if m == "self" => {
+                    has_self = true;
+                    k = e;
+                }
+                _ => break,
+            }
+        }
+        if k >= e && has_self {
+            continue;
+        }
+        // `[mut] name : Type`
+        if let Some(TokKind::Ident(m)) = tokens.get(j).map(|t| &t.kind) {
+            if m == "mut" {
+                j += 1;
+            }
+        }
+        let Some(TokKind::Ident(pname)) = tokens.get(j).map(|t| &t.kind) else {
+            continue;
+        };
+        if !matches!(
+            tokens.get(j + 1).map(|t| &t.kind),
+            Some(TokKind::Punct(':'))
+        ) {
+            continue;
+        }
+        let (ty, ref_cell) = peel_type(tokens, j + 2, e);
+        params.push(Param {
+            name: pname.clone(),
+            ty,
+            ref_cell,
+        });
+    }
+    (has_self, params)
+}
+
+/// Parses `struct Name { fields }`; returns the index to continue from.
+fn parse_struct(tokens: &[Token], kw: usize, out: &mut FileItems) -> usize {
+    let Some(TokKind::Ident(name)) = tokens.get(kw + 1).map(|t| &t.kind) else {
+        return kw + 1;
+    };
+    let name = name.clone();
+    let mut i = kw + 2;
+    if matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+        match skip_angle(tokens, i) {
+            Some(p) => i = p,
+            None => return kw + 1,
+        }
+    }
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct('{')) => {}
+        // Tuple struct or unit struct: skip.
+        _ => return kw + 1,
+    }
+    let Some(close) = skip_group(tokens, i) else {
+        return kw + 1;
+    };
+    // Fields: top-level `name : Type ,` sequences.
+    let mut j = i + 1;
+    while j < close - 1 {
+        match &tokens[j].kind {
+            TokKind::Ident(f)
+                if matches!(
+                    tokens.get(j + 1).map(|t| &t.kind),
+                    Some(TokKind::Punct(':'))
+                ) && !matches!(
+                    tokens.get(j + 2).map(|t| &t.kind),
+                    Some(TokKind::Punct(':'))
+                ) =>
+            {
+                if f == "pub" {
+                    j += 1;
+                    continue;
+                }
+                let fname = f.clone();
+                // Type runs to the next top-level comma.
+                let mut k = j + 2;
+                let mut depth = 0i32;
+                while k < close - 1 {
+                    match &tokens[k].kind {
+                        TokKind::Punct('<')
+                        | TokKind::Punct('(')
+                        | TokKind::Punct('[')
+                        | TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('>')
+                        | TokKind::Punct(')')
+                        | TokKind::Punct(']')
+                        | TokKind::Punct('}') => depth -= 1,
+                        TokKind::Punct(',') if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let (ty, ref_cell) = peel_type(tokens, j + 2, k);
+                out.fields.push(FieldItem {
+                    owner: name.clone(),
+                    name: fname,
+                    ty,
+                    ref_cell,
+                });
+                j = k + 1;
+            }
+            _ => j += 1,
+        }
+    }
+    close
+}
+
+/// Parses `enum Name { Variant, ... }`; returns the index to continue
+/// from.
+fn parse_enum(tokens: &[Token], kw: usize, out: &mut FileItems) -> usize {
+    let Some(TokKind::Ident(name)) = tokens.get(kw + 1).map(|t| &t.kind) else {
+        return kw + 1;
+    };
+    let name = name.clone();
+    let in_test = tokens[kw].in_test;
+    let mut i = kw + 2;
+    if matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct('<'))) {
+        match skip_angle(tokens, i) {
+            Some(p) => i = p,
+            None => return kw + 1,
+        }
+    }
+    if !matches!(tokens.get(i).map(|t| &t.kind), Some(TokKind::Punct('{'))) {
+        return kw + 1;
+    }
+    let Some(close) = skip_group(tokens, i) else {
+        return kw + 1;
+    };
+    // Variants sit at top level inside the braces: an identifier followed
+    // by `,`, `(`, `{`, `=`, or the closing brace.
+    let mut j = i + 1;
+    while j < close - 1 {
+        match &tokens[j].kind {
+            TokKind::Punct('#') => {
+                // Attribute: `#[...]`.
+                let mut k = j + 1;
+                if matches!(tokens.get(k).map(|t| &t.kind), Some(TokKind::Punct('['))) {
+                    if let Some(p) = skip_group(tokens, k) {
+                        k = p;
+                    }
+                }
+                j = k;
+            }
+            TokKind::Ident(v) => {
+                out.variants.push(VariantItem {
+                    owner: name.clone(),
+                    name: v.clone(),
+                    line: tokens[j].line,
+                    in_test,
+                });
+                // Skip the payload and trailing discriminant to the comma.
+                let mut k = j + 1;
+                while k < close - 1 {
+                    match &tokens[k].kind {
+                        TokKind::Punct('(') | TokKind::Punct('{') | TokKind::Punct('[') => {
+                            match skip_group(tokens, k) {
+                                Some(p) => k = p,
+                                None => break,
+                            }
+                        }
+                        TokKind::Punct(',') => {
+                            k += 1;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                j = k;
+            }
+            _ => j += 1,
+        }
+    }
+    close
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn extracts_fns_with_impl_targets() {
+        let src = r#"
+            fn free(a: Ns, b: usize) -> Ns { a }
+            impl Calendar {
+                pub fn schedule(&self, at: Ns, ev: SchedEvent) -> EventId { todo() }
+                fn skim(&mut self) {}
+            }
+            impl TraceObserver for Auditor {
+                fn on_event(&mut self, t: Ns, ev: &TraceEvent) {}
+            }
+        "#;
+        let items = parse_items(&lex(src).tokens);
+        let names: Vec<(Option<&str>, &str, bool)> = items
+            .fns
+            .iter()
+            .map(|f| (f.impl_type.as_deref(), f.name.as_str(), f.has_self))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (None, "free", false),
+                (Some("Calendar"), "schedule", true),
+                (Some("Calendar"), "skim", true),
+                (Some("Auditor"), "on_event", true),
+            ]
+        );
+        assert_eq!(items.fns[0].params.len(), 2);
+        assert_eq!(items.fns[0].params[0].ty, "Ns");
+        assert_eq!(items.fns[1].params[0].name, "at");
+        assert_eq!(items.fns[1].params[0].ty, "Ns");
+    }
+
+    #[test]
+    fn peels_wrappers_and_marks_ref_cells() {
+        let src = r#"
+            struct SharedPool {
+                ep: Rc<RefCell<RdmaEndpoint>>,
+                tenant: u8,
+                cal: Calendar,
+            }
+        "#;
+        let items = parse_items(&lex(src).tokens);
+        assert_eq!(items.fields.len(), 3);
+        assert_eq!(items.fields[0].ty, "RdmaEndpoint");
+        assert!(items.fields[0].ref_cell);
+        assert_eq!(items.fields[1].ty, "u8");
+        assert!(!items.fields[1].ref_cell);
+        assert_eq!(items.fields[2].ty, "Calendar");
+    }
+
+    #[test]
+    fn extracts_enum_variants_with_lines() {
+        let src = "enum SchedEvent {\n    ReclaimTick,\n    PrefetchLand { vpn: u64, token: u32 },\n    Wrapped(u64),\n}\n";
+        let items = parse_items(&lex(src).tokens);
+        let vs: Vec<(&str, u32)> = items
+            .variants
+            .iter()
+            .map(|v| (v.name.as_str(), v.line))
+            .collect();
+        assert_eq!(
+            vs,
+            vec![("ReclaimTick", 2), ("PrefetchLand", 3), ("Wrapped", 4)]
+        );
+        assert_eq!(items.variants[0].owner, "SchedEvent");
+    }
+
+    #[test]
+    fn variant_payload_fields_are_not_variants() {
+        let src = "enum E { A { x: u64, y: Vec<u8> }, B(Foo, Bar), C = 3, D }";
+        let items = parse_items(&lex(src).tokens);
+        let vs: Vec<&str> = items.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(vs, vec!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn glob_imports_are_recorded() {
+        let src = "use TraceEvent::*;\nuse crate::sched::SchedEvent::*;\nuse std::fmt::Debug;\n";
+        let items = parse_items(&lex(src).tokens);
+        assert_eq!(items.glob_enums, vec!["TraceEvent", "SchedEvent"]);
+    }
+
+    #[test]
+    fn nested_fns_inside_bodies_are_found() {
+        let src = "fn outer() { fn inner(x: Ns) {} }";
+        let items = parse_items(&lex(src).tokens);
+        let names: Vec<&str> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn test_scope_is_carried() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live() {}\n";
+        let items = parse_items(&lex(src).tokens);
+        assert!(items.fns[0].in_test, "helper is test code");
+        assert!(!items.fns[1].in_test);
+    }
+}

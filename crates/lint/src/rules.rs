@@ -6,17 +6,23 @@
 //! Scope is path-based: a rule applies to a file according to where that
 //! file sits in the workspace (see [`Scope::for_path`]).
 
-use crate::lexer::{lex, Comment, TokKind, Token};
-use crate::report::{Report, Suppression, Violation};
+use crate::lexer::{Comment, TokKind, Token};
+use crate::report::{PathStep, Report, Suppression, Violation};
 use std::collections::BTreeMap;
 
-/// `(code, slug)` for every rule, in order.
-pub const RULES: [(&str, &str); 5] = [
+/// `(code, slug)` for every rule, in order. R1–R5 are token-level (PR 3);
+/// R6–R10 are the v2 interprocedural families (see [`crate::rules2`]).
+pub const RULES: [(&str, &str); 10] = [
     ("R1", "no-wall-clock"),
     ("R2", "no-hash-iteration"),
     ("R3", "no-unwrap-in-hot-path"),
     ("R4", "calendar-time-only"),
     ("R5", "no-ambient-rand"),
+    ("R6", "transitive-panic-freedom"),
+    ("R7", "refcell-borrow-overlap"),
+    ("R8", "ns-arithmetic-safety"),
+    ("R9", "trace-event-coverage"),
+    ("R10", "schedule-time-monotonicity"),
 ];
 
 /// Which rules apply to a given file.
@@ -71,34 +77,37 @@ impl Scope {
 }
 
 /// Lints one file's source under its workspace-relative path.
+///
+/// Interprocedural rules see only this one file; use
+/// [`crate::lint_files`] to analyze a set together.
 pub fn lint_source(rel_path: &str, src: &str) -> Report {
-    let scope = Scope::for_path(rel_path);
-    let lexed = lex(src);
-    let mut violations = Vec::new();
+    crate::lint_files(&[(rel_path.to_string(), src.to_string())])
+}
 
+/// Runs the per-file rules (R1–R5, plus R8/R10 from the v2 families) on
+/// one file's tokens.
+pub(crate) fn run_intra(rel_path: &str, tokens: &[Token], violations: &mut Vec<Violation>) {
+    let scope = Scope::for_path(rel_path);
     if scope.r1 {
-        rule_wall_clock(rel_path, &lexed.tokens, &mut violations);
+        rule_wall_clock(rel_path, tokens, violations);
     }
     if scope.r2 {
-        rule_hash_iteration(rel_path, &lexed.tokens, &mut violations);
+        rule_hash_iteration(rel_path, tokens, violations);
     }
     if scope.r3 {
-        rule_unwrap_hot_path(rel_path, &lexed.tokens, &mut violations);
+        rule_unwrap_hot_path(rel_path, tokens, violations);
     }
     if scope.r4 {
-        rule_calendar_time(rel_path, &lexed.tokens, &mut violations);
+        rule_calendar_time(rel_path, tokens, violations);
     }
     if scope.r5 {
-        rule_ambient_rand(rel_path, &lexed.tokens, &mut violations);
+        rule_ambient_rand(rel_path, tokens, violations);
     }
-
-    let mut suppressions = parse_suppressions(rel_path, &lexed.comments);
-    let violations = apply_suppressions(violations, &mut suppressions);
-
-    Report {
-        violations,
-        suppressions,
-        files_scanned: 1,
+    if crate::rules2::r8_in_scope(rel_path) {
+        crate::rules2::rule_ns_arithmetic(rel_path, tokens, violations);
+    }
+    if crate::rules2::r10_in_scope(rel_path) {
+        crate::rules2::rule_schedule_time(rel_path, tokens, violations);
     }
 }
 
@@ -119,7 +128,7 @@ fn rule_wall_clock(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
     for t in tokens {
         if let TokKind::Ident(s) = &t.kind {
             if s == "Instant" || s == "SystemTime" {
-                out.push(violation(file, t.line, 0, format!(
+                out.push(violation(file, t.line, 0, vec![], format!(
                     "`{s}` reads the host wall clock; simulation time must come from the Calendar/Timeline (host time is only legitimate in crates/criterion and crates/bench)"
                 )));
             }
@@ -201,7 +210,7 @@ fn rule_hash_iteration(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
             {
                 if let Some(name) = ident_at(tokens, i - 2) {
                     if let Some(ty) = hash_decls.get(name) {
-                        out.push(violation(file, tokens[i].line, 1, format!(
+                        out.push(violation(file, tokens[i].line, 1, vec![], format!(
                             "`{name}.{m}()` iterates a `{ty}` in a determinism-sensitive path; hash order is seed/allocator-dependent — use BTreeMap/BTreeSet or a sorted snapshot"
                         )));
                     }
@@ -220,7 +229,7 @@ fn rule_hash_iteration(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
             if let Some(name) = ident_at(tokens, j) {
                 if punct_at(tokens, j + 1, '{') {
                     if let Some(ty) = hash_decls.get(name) {
-                        out.push(violation(file, tokens[j].line, 1, format!(
+                        out.push(violation(file, tokens[j].line, 1, vec![], format!(
                             "`for … in {name}` iterates a `{ty}` in a determinism-sensitive path; hash order is seed/allocator-dependent — use BTreeMap/BTreeSet or a sorted snapshot"
                         )));
                     }
@@ -240,7 +249,7 @@ fn rule_unwrap_hot_path(file: &str, tokens: &[Token], out: &mut Vec<Violation>) 
             Some(m @ ("unwrap" | "expect"))
                 if i >= 1 && punct_at(tokens, i - 1, '.') && punct_at(tokens, i + 1, '(') =>
             {
-                out.push(violation(file, tokens[i].line, 2, format!(
+                out.push(violation(file, tokens[i].line, 2, vec![], format!(
                     "`.{m}()` in hot-path code can take down the whole simulated machine; return an Err, restructure, or add a documented dilos-lint allow"
                 )));
             }
@@ -249,6 +258,7 @@ fn rule_unwrap_hot_path(file: &str, tokens: &[Token], out: &mut Vec<Violation>) 
                     file,
                     tokens[i].line,
                     2,
+                    vec![],
                     "`panic!` in hot-path code; return an Err, restructure, or add a documented dilos-lint allow".to_string(),
                 ));
             }
@@ -258,7 +268,8 @@ fn rule_unwrap_hot_path(file: &str, tokens: &[Token], out: &mut Vec<Violation>) 
 }
 
 /// Identifier prefixes that mark a cached/stale time value.
-const STALE_TIME_PREFIXES: [&str; 6] = ["cached", "saved", "stale", "old_", "prev_", "last_"];
+pub(crate) const STALE_TIME_PREFIXES: [&str; 6] =
+    ["cached", "saved", "stale", "old_", "prev_", "last_"];
 
 /// R4: the time argument of a `TraceSink::emit` call must come from the
 /// live virtual clock (calendar, timeline, stamped access time), never a
@@ -291,13 +302,13 @@ fn rule_calendar_time(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
             j += 1;
         }
         if arg.len() == 1 && arg[0].kind == TokKind::Number {
-            out.push(violation(file, tokens[i].line, 3, "trace emitted at a literal time; every emit must carry the live virtual time (Calendar/Timeline/stamped access clock)".to_string()));
+            out.push(violation(file, tokens[i].line, 3, vec![], "trace emitted at a literal time; every emit must carry the live virtual time (Calendar/Timeline/stamped access clock)".to_string()));
             continue;
         }
         for t in &arg {
             if let TokKind::Ident(s) = &t.kind {
                 if STALE_TIME_PREFIXES.iter().any(|p| s.starts_with(p)) {
-                    out.push(violation(file, tokens[i].line, 3, format!(
+                    out.push(violation(file, tokens[i].line, 3, vec![], format!(
                         "trace emitted at `{s}`, which looks like a cached/stale time; take the time from the Calendar/Timeline at the emit site"
                     )));
                     break;
@@ -322,11 +333,11 @@ fn rule_ambient_rand(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
     for (i, t) in tokens.iter().enumerate() {
         if let TokKind::Ident(s) = &t.kind {
             if AMBIENT_RAND_IDENTS.contains(&s.as_str()) {
-                out.push(violation(file, t.line, 4, format!(
+                out.push(violation(file, t.line, 4, vec![], format!(
                     "`{s}` draws ambient (non-seeded) randomness; all randomness must flow through dilos_sim::rng seeded generators"
                 )));
             } else if s == "rand" && punct_at(tokens, i + 1, ':') && punct_at(tokens, i + 2, ':') {
-                out.push(violation(file, t.line, 4,
+                out.push(violation(file, t.line, 4, vec![],
                     "the `rand` crate draws ambient randomness; all randomness must flow through dilos_sim::rng seeded generators".to_string(),
                 ));
             }
@@ -334,18 +345,25 @@ fn rule_ambient_rand(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
-fn violation(file: &str, line: u32, rule_idx: usize, message: String) -> Violation {
+pub(crate) fn violation(
+    file: &str,
+    line: u32,
+    rule_idx: usize,
+    path: Vec<PathStep>,
+    message: String,
+) -> Violation {
     Violation {
         file: file.to_string(),
         line,
         rule: RULES[rule_idx].0,
         id: RULES[rule_idx].1,
         message,
+        path,
     }
 }
 
 /// Parses `// dilos-lint: allow(<rule>, "<reason>")` directives.
-fn parse_suppressions(file: &str, comments: &[Comment]) -> Vec<Suppression> {
+pub(crate) fn parse_suppressions(file: &str, comments: &[Comment]) -> Vec<Suppression> {
     let mut out = Vec::new();
     for c in comments {
         // Doc comments (`///`, `//!`, `/** */`, `/*! */`) describe the
@@ -387,9 +405,12 @@ fn parse_suppressions(file: &str, comments: &[Comment]) -> Vec<Suppression> {
     out
 }
 
-/// Drops violations shielded by a matching suppression (same line or the
-/// line directly below the directive), marking the suppression used.
-fn apply_suppressions(
+/// Drops violations shielded by a matching suppression (same file, same
+/// line or the line directly below the directive), marking the
+/// suppression used. Interprocedural findings are anchored at file-local
+/// lines (R6 at the sink, R9 at the variant declaration), so the same
+/// mechanism covers them.
+pub(crate) fn apply_suppressions(
     violations: Vec<Violation>,
     suppressions: &mut [Suppression],
 ) -> Vec<Violation> {
@@ -398,7 +419,7 @@ fn apply_suppressions(
         .filter(|v| {
             for s in suppressions.iter_mut() {
                 let names_rule = s.id == v.id || s.id == v.rule;
-                if names_rule && (v.line == s.line || v.line == s.line + 1) {
+                if names_rule && s.file == v.file && (v.line == s.line || v.line == s.line + 1) {
                     s.used = true;
                     return false;
                 }

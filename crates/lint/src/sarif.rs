@@ -1,0 +1,160 @@
+//! SARIF 2.1.0 output for CI code-scanning upload.
+//!
+//! Hand-rolled like the JSON writer: one run, the full ten-rule table in
+//! `tool.driver.rules`, one `result` per violation with the physical
+//! location, and a `codeFlow` carrying the interprocedural call chain
+//! when the finding has one (R6/R7). The report is sorted before
+//! rendering, so two scans of the same tree emit byte-identical SARIF.
+
+use crate::report::Report;
+use crate::rules::RULES;
+
+/// Short description per rule, indexed like [`RULES`].
+const RULE_HELP: [&str; 10] = [
+    "Virtual time only: Instant/SystemTime are banned outside host-timing crates.",
+    "No HashMap/HashSet iteration on digest, trace, audit, or stats paths.",
+    "No unwrap/expect/panic! in crates/core or crates/sim non-test code.",
+    "TraceSink::emit must be passed the live clock, not a stored timestamp.",
+    "Randomness only via dilos_sim::rng seeded streams.",
+    "Hot-path functions must not reach a panic site through any call chain.",
+    "A live borrow_mut() guard must not span a call that re-borrows the same RefCell.",
+    "Ns addition/multiplication in sched/fabric/rdma/timeline must be saturating_ or checked_.",
+    "Every TraceEvent/SchedEvent variant must be both emitted and consumed.",
+    "Calendar schedule times must derive from now/config, never literals or host clocks.",
+];
+
+/// Renders the report as a SARIF 2.1.0 log with a single run.
+pub fn to_sarif(report: &Report) -> String {
+    let mut sorted = report.clone();
+    sorted.sort();
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"dilos-lint\",\n");
+    s.push_str("          \"version\": \"2.0.0\",\n");
+    s.push_str("          \"informationUri\": \"https://example.invalid/dilos-lint\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, (code, slug)) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str("            {\"id\": ");
+        json_str(&mut s, slug);
+        s.push_str(", \"name\": ");
+        json_str(&mut s, code);
+        s.push_str(", \"shortDescription\": {\"text\": ");
+        json_str(&mut s, RULE_HELP[i]);
+        s.push_str("}}");
+    }
+    s.push_str("\n          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [");
+    for (i, v) in sorted.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let rule_index = RULES
+            .iter()
+            .position(|(code, _)| *code == v.rule)
+            .unwrap_or(0);
+        s.push_str("\n        {\"ruleId\": ");
+        json_str(&mut s, v.id);
+        s.push_str(&format!(", \"ruleIndex\": {rule_index}"));
+        s.push_str(", \"level\": \"error\", \"message\": {\"text\": ");
+        json_str(&mut s, &v.message);
+        s.push_str("}, \"locations\": [");
+        push_location(&mut s, &v.file, v.line);
+        s.push(']');
+        if !v.path.is_empty() {
+            s.push_str(", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [");
+            for (k, p) in v.path.iter().enumerate() {
+                if k > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str("{\"location\": ");
+                push_flow_location(&mut s, &p.label, &p.file, p.line);
+                s.push('}');
+            }
+            s.push_str("]}]}]");
+        }
+        s.push('}');
+    }
+    if !sorted.violations.is_empty() {
+        s.push_str("\n      ");
+    }
+    s.push_str("]\n    }\n  ]\n}\n");
+    s
+}
+
+fn push_location(s: &mut String, file: &str, line: u32) {
+    s.push_str("{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ");
+    json_str(s, file);
+    s.push_str(&format!("}}, \"region\": {{\"startLine\": {line}}}}}}}"));
+}
+
+fn push_flow_location(s: &mut String, label: &str, file: &str, line: u32) {
+    s.push_str("{\"message\": {\"text\": ");
+    json_str(s, label);
+    s.push_str("}, \"physicalLocation\": {\"artifactLocation\": {\"uri\": ");
+    json_str(s, file);
+    s.push_str(&format!("}}, \"region\": {{\"startLine\": {line}}}}}}}"));
+}
+
+/// Appends `v` as a JSON string literal (same escaping as the report
+/// writer).
+fn json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{PathStep, Violation};
+
+    #[test]
+    fn sarif_lists_all_rules_and_carries_code_flows() {
+        let mut r = Report {
+            files_scanned: 1,
+            ..Default::default()
+        };
+        r.violations.push(Violation {
+            file: "crates/sim/src/x.rs".into(),
+            line: 7,
+            rule: "R6",
+            id: "transitive-panic-freedom",
+            message: "reaches unwrap".into(),
+            path: vec![PathStep {
+                label: "Node::fault".into(),
+                file: "crates/core/src/node.rs".into(),
+                line: 3,
+            }],
+        });
+        let s = to_sarif(&r);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for (_, slug) in RULES.iter() {
+            assert!(s.contains(&format!("\"id\": \"{slug}\"")), "missing {slug}");
+        }
+        assert!(s.contains("\"ruleIndex\": 5"));
+        assert!(s.contains("codeFlows"));
+        assert!(s.contains("Node::fault"));
+        assert!(s.contains("\"startLine\": 7"));
+    }
+
+    #[test]
+    fn empty_report_has_empty_results() {
+        let s = to_sarif(&Report::default());
+        assert!(s.contains("\"results\": []"));
+    }
+}

@@ -4,7 +4,17 @@
 //! file, and line — so any drift in a rule's detection surface fails here
 //! first.
 
-use dilos_lint::{lint_source, Report};
+use dilos_lint::{lint_files, lint_source, Report};
+
+/// Lints several virtual files together so the interprocedural rules
+/// (R6/R7/R9) see the whole set.
+fn lint_set(files: &[(&str, &str)]) -> Report {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_files(&owned)
+}
 
 /// Asserts that `report` holds exactly `expect` violations, as
 /// `(rule, id, line)` triples in report (sorted) order, and that each one
@@ -213,6 +223,140 @@ fn recovery_replay_code_trips_r1_and_r2_in_the_sim() {
     let file = "crates/sim/src/recover.rs";
     clean(
         &lint_source(file, include_str!("fixtures/recover_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn r6_transitive_panic_freedom() {
+    let hot = include_str!("fixtures/r6_hot.rs");
+    let heap = include_str!("fixtures/r6_heap_violating.rs");
+    let r = lint_set(&[
+        ("crates/core/src/node_fixture.rs", hot),
+        ("crates/alloc/src/heap_fixture.rs", heap),
+    ]);
+    assert_eq!(r.violations.len(), 1, "{}", r.to_human());
+    let v = &r.violations[0];
+    assert_eq!(
+        (v.rule, v.id, v.file.as_str(), v.line),
+        (
+            "R6",
+            "transitive-panic-freedom",
+            "crates/alloc/src/heap_fixture.rs",
+            7
+        )
+    );
+    // The full call chain, outermost hot-path root first.
+    let labels: Vec<&str> = v.path.iter().map(|p| p.label.as_str()).collect();
+    assert_eq!(labels, ["Node::fault", "Heap::carve"]);
+    assert_eq!(v.path[0].file, "crates/core/src/node_fixture.rs");
+    let json = r.to_json();
+    assert!(
+        json.contains("\"path\": [{\"label\": \"Node::fault\""),
+        "call path must round-trip into JSON:\n{json}"
+    );
+    // The .get() version panics nowhere, so the same root is clean.
+    let r = lint_set(&[
+        ("crates/core/src/node_fixture.rs", hot),
+        (
+            "crates/alloc/src/heap_fixture.rs",
+            include_str!("fixtures/r6_heap_clean.rs"),
+        ),
+    ]);
+    assert!(r.violations.is_empty(), "{}", r.to_human());
+}
+
+#[test]
+fn r7_refcell_borrow_overlap() {
+    let file = "crates/sim/src/pool_fixture.rs";
+    let r = lint_source(file, include_str!("fixtures/r7_violating.rs"));
+    assert_violations(&r, file, &[("R7", "refcell-borrow-overlap", 20)]);
+    let v = &r.violations[0];
+    assert!(
+        v.message.contains("Endpoint"),
+        "names the re-borrowed cell: {}",
+        v.message
+    );
+    assert!(!v.path.is_empty(), "carries the borrow chain");
+    // Dropping the guard before the call resolves the overlap.
+    clean(
+        &lint_source(file, include_str!("fixtures/r7_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn r8_ns_arithmetic() {
+    let src = include_str!("fixtures/r8_violating.rs");
+    let file = "crates/sim/src/timeline.rs";
+    let r = lint_source(file, src);
+    assert_violations(&r, file, &[("R8", "ns-arithmetic-safety", 4)]);
+    // The same arithmetic is out of scope away from the time-math stems.
+    clean(
+        &lint_source("crates/sim/src/metrics.rs", src),
+        "crates/sim/src/metrics.rs",
+    );
+    let file = "crates/sim/src/timeline.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/r8_clean.rs")),
+        file,
+    );
+}
+
+#[test]
+fn r9_trace_event_coverage() {
+    let events = include_str!("fixtures/r9_events.rs");
+    let r = lint_set(&[
+        ("crates/sim/src/trace_fixture.rs", events),
+        (
+            "crates/core/src/audit.rs",
+            include_str!("fixtures/r9_audit_violating.rs"),
+        ),
+    ]);
+    assert_eq!(r.violations.len(), 1, "{}", r.to_human());
+    let v = &r.violations[0];
+    assert_eq!(
+        (v.rule, v.id, v.file.as_str(), v.line),
+        (
+            "R9",
+            "trace-event-coverage",
+            "crates/sim/src/trace_fixture.rs",
+            3
+        )
+    );
+    assert!(v.message.contains("Evict"), "{}", v.message);
+    // Matching every variant in the auditor clears the census.
+    let r = lint_set(&[
+        ("crates/sim/src/trace_fixture.rs", events),
+        (
+            "crates/core/src/audit.rs",
+            include_str!("fixtures/r9_audit_clean.rs"),
+        ),
+    ]);
+    assert!(r.violations.is_empty(), "{}", r.to_human());
+}
+
+#[test]
+fn r10_schedule_time_monotonicity() {
+    let src = include_str!("fixtures/r10_violating.rs");
+    let file = "crates/sim/src/pump.rs";
+    let r = lint_source(file, src);
+    assert_violations(
+        &r,
+        file,
+        &[
+            ("R10", "schedule-time-monotonicity", 2),
+            ("R10", "schedule-time-monotonicity", 3),
+        ],
+    );
+    // Out of scope outside the deterministic crates.
+    clean(
+        &lint_source("crates/bench/src/pump.rs", src),
+        "crates/bench/src/pump.rs",
+    );
+    let file = "crates/sim/src/pump.rs";
+    clean(
+        &lint_source(file, include_str!("fixtures/r10_clean.rs")),
         file,
     );
 }

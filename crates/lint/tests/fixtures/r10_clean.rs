@@ -1,0 +1,3 @@
+pub fn arm(cal: &Calendar, now: Ns, cfg: &Cfg) {
+    cal.schedule(now + cfg.tick_interval, SchedEvent::ReclaimTick);
+}

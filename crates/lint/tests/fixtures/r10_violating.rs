@@ -1,0 +1,5 @@
+pub fn arm(cal: &Calendar, now: Ns, saved_deadline: Ns) {
+    cal.schedule(1000, SchedEvent::ReclaimTick);
+    cal.schedule(saved_deadline, SchedEvent::ReclaimTick);
+    cal.schedule(now + 10, SchedEvent::ReclaimTick);
+}

@@ -1,5 +1,5 @@
 pub type Ns = u64;
 
 pub fn stamp(now: Ns) -> Ns {
-    now + 1
+    now.saturating_add(1)
 }

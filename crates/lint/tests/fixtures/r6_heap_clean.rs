@@ -1,0 +1,9 @@
+pub struct Heap {
+    pages: Vec<u64>,
+}
+
+impl Heap {
+    pub fn carve(&self, idx: usize) -> u64 {
+        self.pages.get(idx).copied().unwrap_or(0)
+    }
+}

@@ -1,0 +1,12 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct Node {
+    h: Rc<RefCell<Heap>>,
+}
+
+impl Node {
+    pub fn fault(&self) -> u64 {
+        self.h.borrow().carve(3)
+    }
+}

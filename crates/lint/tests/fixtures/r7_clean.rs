@@ -1,0 +1,24 @@
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub struct Endpoint {
+    n: u64,
+}
+
+pub struct Pool {
+    ep: Rc<RefCell<Endpoint>>,
+}
+
+impl Pool {
+    pub fn peek(&self) -> u64 {
+        self.ep.borrow().n
+    }
+
+    pub fn poke(&self) -> u64 {
+        {
+            let mut g = self.ep.borrow_mut();
+            g.n = g.n.saturating_add(1);
+        }
+        self.peek()
+    }
+}

@@ -1,0 +1,5 @@
+pub type Ns = u64;
+
+pub fn pace(now: Ns, step: Ns) -> Ns {
+    now + step
+}

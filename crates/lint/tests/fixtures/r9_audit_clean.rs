@@ -1,0 +1,6 @@
+pub fn consume(ev: &TraceEvent) -> u32 {
+    match ev {
+        TraceEvent::Fault { .. } => 1,
+        TraceEvent::Evict { .. } => 2,
+    }
+}

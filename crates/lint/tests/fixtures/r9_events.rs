@@ -1,0 +1,9 @@
+pub enum TraceEvent {
+    Fault { vpn: u64 },
+    Evict { vpn: u64 },
+}
+
+pub fn emit_all(sink: &mut Vec<TraceEvent>) {
+    sink.push(TraceEvent::Fault { vpn: 1 });
+    sink.push(TraceEvent::Evict { vpn: 2 });
+}

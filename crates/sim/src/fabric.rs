@@ -186,7 +186,7 @@ impl Fabric {
                 let rel = q.release.entry((tenant, inbound)).or_insert(0);
                 let start = t.max(*rel);
                 *rel = start + wire * q.total / share;
-                q.shaped_busy += wire;
+                q.shaped_busy = q.shaped_busy.saturating_add(wire);
                 start + wire
             }
             None => {
@@ -260,9 +260,10 @@ impl Fabric {
     /// Total link busy time across both directions (utilization reports),
     /// including true wire time consumed on shaped per-tenant slices.
     pub fn link_busy(&self) -> Ns {
-        self.link_up.total_busy()
-            + self.link_down.total_busy()
-            + self.qos.as_ref().map_or(0, |q| q.shaped_busy)
+        self.link_up
+            .total_busy()
+            .saturating_add(self.link_down.total_busy())
+            .saturating_add(self.qos.as_ref().map_or(0, |q| q.shaped_busy))
     }
 }
 

@@ -45,6 +45,8 @@
 //!
 //! [EuroSys '23]: https://doi.org/10.1145/3552326.3567488
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod config;
 pub mod ec;

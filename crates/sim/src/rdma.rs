@@ -508,8 +508,9 @@ impl RdmaEndpoint {
             rec.stats.recoveries += 1;
             rec.stats.replayed = replayed;
             rec.stats.reconciled = reconciled;
-            rec.stats.recovery_ns =
-                replayed * rec.cfg.replay_ns_per_record + reconciled * rec.cfg.resync_ns_per_page;
+            rec.stats.recovery_ns = replayed
+                .saturating_mul(rec.cfg.replay_ns_per_record)
+                .saturating_add(reconciled.saturating_mul(rec.cfg.resync_ns_per_page));
         }
     }
 
@@ -700,7 +701,10 @@ impl RdmaEndpoint {
         self.trace
             .emit(done, TraceEvent::NodeCrash { node: victim as u8 });
         if let Some(cal) = &self.calendar {
-            cal.schedule(done + delay, SchedEvent::NodeRepair { node: victim });
+            cal.schedule(
+                done.saturating_add(delay),
+                SchedEvent::NodeRepair { node: victim },
+            );
         }
     }
 
@@ -743,7 +747,7 @@ impl RdmaEndpoint {
                 // First contact after the failure: the RNIC retries until
                 // its transport timeout fires.
                 self.nodes[ni].death_detected = true;
-                penalty += self.nodes[ni].fabric.cfg().failover_detect_ns;
+                penalty = penalty.saturating_add(self.nodes[ni].fabric.cfg().failover_detect_ns);
             }
         }
         Err(RdmaError::AllReplicasDown)
@@ -830,7 +834,9 @@ impl RdmaEndpoint {
         let cfg = self.nodes[node].fabric.cfg().clone();
         let wire = cfg.wire_ns(bytes);
         let doorbell = cfg.qp_doorbell_ns;
-        let (_, qp_end) = self.qp(node, core, class).acquire(now, doorbell + wire);
+        let (_, qp_end) = self
+            .qp(node, core, class)
+            .acquire(now, doorbell.saturating_add(wire));
         let wire_end = self.nodes[node]
             .fabric
             .transfer(qp_end - wire, class, bytes, is_read);
@@ -840,13 +846,13 @@ impl RdmaEndpoint {
             cfg.rdma_write_ns(bytes)
         };
         let mut rest = total.saturating_sub(wire + doorbell);
-        rest += cfg.sg_extra_ns(segments);
+        rest = rest.saturating_add(cfg.sg_extra_ns(segments));
         if self.nodes[node].node.huge_pages() {
             rest = rest.saturating_sub(cfg.memnode_hugepage_saving_ns);
         }
-        let mut done = qp_end.max(wire_end) + rest;
+        let mut done = qp_end.max(wire_end).saturating_add(rest);
         if self.tcp_mode {
-            done += cfg.tcp_extra_ns();
+            done = done.saturating_add(cfg.tcp_extra_ns());
         }
         done
     }
@@ -874,7 +880,15 @@ impl RdmaEndpoint {
             return Ok(done);
         }
         let (ni, penalty) = self.pick_read_node(remote)?;
-        let done = self.verb_timing(ni, now + penalty, core, class, buf.len(), 1, true);
+        let done = self.verb_timing(
+            ni,
+            now.saturating_add(penalty),
+            core,
+            class,
+            buf.len(),
+            1,
+            true,
+        );
         self.nodes[ni].node.read(self.region_of(ni), remote, buf)?;
         self.trace_complete(core, class, false, ni as u8, done);
         self.maybe_crash(done);
@@ -1034,7 +1048,7 @@ impl RdmaEndpoint {
         let mut t = now;
         if !self.nodes[dn].death_detected {
             self.nodes[dn].death_detected = true;
-            t += self.nodes[dn].fabric.cfg().failover_detect_ns;
+            t = t.saturating_add(self.nodes[dn].fabric.cfg().failover_detect_ns);
         }
         self.failovers += 1;
         self.reconstructions += 1;
@@ -1090,8 +1104,8 @@ impl RdmaEndpoint {
         let shard = shards[lane].as_deref().ok_or(RdmaError::AllReplicasDown)?;
         buf.copy_from_slice(shard);
         // Decode cost: a GF multiply-accumulate per byte per source shard.
-        let decode_ns = (len * ec_k) as Ns / 2;
-        Ok(done + decode_ns)
+        let decode_ns = (len as Ns).saturating_mul(ec_k as Ns) / 2;
+        Ok(done.saturating_add(decode_ns))
     }
 
     fn check_segments(segments: &[Segment], buf_len: usize) -> Result<usize, RdmaError> {
@@ -1141,7 +1155,15 @@ impl RdmaEndpoint {
         }
         // Vectored verbs address one page, so every segment shares a shard.
         let (ni, penalty) = self.pick_read_node(segments[0].remote)?;
-        let done = self.verb_timing(ni, now + penalty, core, class, bytes, segments.len(), true);
+        let done = self.verb_timing(
+            ni,
+            now.saturating_add(penalty),
+            core,
+            class,
+            bytes,
+            segments.len(),
+            true,
+        );
         for s in segments {
             let region = self.region_of(ni);
             self.nodes[ni]
@@ -1171,8 +1193,8 @@ impl RdmaEndpoint {
         if self.ec.is_some() {
             let mut done = now;
             for s in segments {
-                let d =
-                    self.ec_write(now, core, class, s.remote, &buf[s.offset..s.offset + s.len])?;
+                let seg = &buf[s.offset..s.offset + s.len];
+                let d = self.ec_write(now, core, class, s.remote, seg)?;
                 done = done.max(d);
             }
             self.trace_complete(core, class, true, shard, done);

@@ -29,9 +29,9 @@ impl Timeline {
     /// resource is then busy until `end`.
     pub fn acquire(&mut self, now: Ns, dur: Ns) -> (Ns, Ns) {
         let start = now.max(self.busy_until);
-        let end = start + dur;
+        let end = start.saturating_add(dur);
         self.busy_until = end;
-        self.total_busy += dur;
+        self.total_busy = self.total_busy.saturating_add(dur);
         self.acquisitions += 1;
         (start, end)
     }

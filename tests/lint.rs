@@ -47,3 +47,37 @@ fn lint_output_is_deterministic() {
     assert_eq!(a, b, "dilos-lint --json output is not deterministic");
     assert!(a.contains("\"violations\": []"));
 }
+
+#[test]
+fn sarif_output_is_deterministic_and_well_formed() {
+    // SARIF is what CI uploads; two scans must be byte-identical and the
+    // log must carry the full ten-rule table even on a clean tree.
+    let a = dilos_lint::sarif::to_sarif(&scan());
+    let b = dilos_lint::sarif::to_sarif(&scan());
+    assert_eq!(
+        a, b,
+        "dilos-lint --format sarif output is not deterministic"
+    );
+    assert!(a.contains("\"version\": \"2.1.0\""));
+    assert!(a.contains("\"name\": \"dilos-lint\""));
+    for (_, slug) in dilos_lint::RULES {
+        assert!(
+            a.contains(&format!("\"id\": \"{slug}\"")),
+            "missing rule {slug}"
+        );
+    }
+    assert!(a.contains("\"results\": []"), "clean tree, empty results");
+}
+
+#[test]
+fn deterministic_crates_forbid_unsafe_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for krate in ["core", "sim", "lint", "bench"] {
+        let lib = root.join("crates").join(krate).join("src/lib.rs");
+        let src = std::fs::read_to_string(&lib).expect("crate root");
+        assert!(
+            src.contains("#![forbid(unsafe_code)]"),
+            "crates/{krate}/src/lib.rs must carry #![forbid(unsafe_code)]"
+        );
+    }
+}
