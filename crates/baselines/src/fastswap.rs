@@ -341,6 +341,10 @@ impl Fastswap {
 
     /// Delivers one calendar event at its scheduled time.
     fn dispatch(&mut self, t: Ns, ev: SchedEvent) {
+        // Calendar work drained inside a fault's frame-allocation spin must
+        // not inherit the fault's causal request id; completions re-attach
+        // their own id from the endpoint's pending-request FIFO.
+        let drained_req = self.trace.set_request(None);
         match ev {
             SchedEvent::ReclaimTick => {
                 // One offloaded reclaim batch, running at the offload
@@ -359,6 +363,7 @@ impl Fastswap {
             SchedEvent::SampleTick => self.record_gauges(t),
             _ => {}
         }
+        self.trace.set_request(drained_req);
     }
 
     /// Current virtual time on `core`.
@@ -521,6 +526,7 @@ impl Fastswap {
         let costs = self.cfg.costs.clone();
         self.stats.minor_faults += 1;
         let now = self.clocks[core].now();
+        let prev_req = self.trace.begin_request();
         self.trace.emit(
             now,
             TraceEvent::FaultBegin {
@@ -541,12 +547,14 @@ impl Fastswap {
                 vpn,
             },
         );
+        self.trace.set_request(prev_req);
         frame
     }
 
     fn zero_fill(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
         let costs = self.cfg.costs.clone();
         let now = self.clocks[core].now();
+        let prev_req = self.trace.begin_request();
         self.trace.emit(
             now,
             TraceEvent::FaultBegin {
@@ -569,6 +577,7 @@ impl Fastswap {
                 vpn,
             },
         );
+        self.trace.set_request(prev_req);
         frame
     }
 
@@ -576,6 +585,7 @@ impl Fastswap {
     fn major_fault(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
         let costs = self.cfg.costs.clone();
         let now = self.clocks[core].now();
+        let prev_req = self.trace.begin_request();
         self.trace.emit(
             now,
             TraceEvent::FaultBegin {
@@ -623,6 +633,7 @@ impl Fastswap {
                 vpn,
             },
         );
+        self.trace.set_request(prev_req);
         frame
     }
 
@@ -649,6 +660,9 @@ impl Fastswap {
             };
             let remote = (target - (BASE_VA >> 12)) << 12;
             let mut page = [0u8; PAGE_SIZE];
+            // Each readahead page is its own causal request, issued at
+            // origin; the faulting request resumes once it lands.
+            let prev_req = self.trace.begin_request();
             self.trace
                 .emit(t.max(avail), TraceEvent::PrefetchIssue { vpn: target });
             let done = self
@@ -673,6 +687,7 @@ impl Fastswap {
                 .emit(t.max(avail), TraceEvent::LruInsert { vpn: target });
             self.lru.insert(target);
             self.stats.readahead_pages += 1;
+            self.trace.set_request(prev_req);
         }
     }
 
@@ -832,6 +847,9 @@ impl Fastswap {
             }
             return spent;
         };
+        // Each eviction is its own causal request, whether produced by the
+        // offload thread or by direct reclaim inside a fault.
+        let prev_req = self.trace.begin_request();
         match st {
             PageState::Cached { frame, .. } => {
                 // Drop from the swap cache: clean by construction. The
@@ -878,6 +896,7 @@ impl Fastswap {
             }
             PageState::Swapped => unreachable!("victims are resident"),
         }
+        self.trace.set_request(prev_req);
         if offloaded {
             // The offload thread's CPU time rides its own timeline.
             self.offload.acquire(t, spent);

@@ -17,7 +17,10 @@
 //! `serve.json` / `recover.json` (the CI determinism gate compares two
 //! fresh runs of each). `--metrics` also runs the metered tab01 systems
 //! and writes `metrics.json`, `timeseries.json`, and `profile.folded` to
-//! the output directory.
+//! the output directory. `--timeline` runs the causally-traced systems
+//! and writes `timeline.json` / `serve_timeline.json` (Chrome trace-event
+//! JSON, openable at ui.perfetto.dev) plus the critical-path tail report
+//! `tail.md` / `tail.json`.
 
 use std::io::Write as _;
 
@@ -38,6 +41,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let metrics = args.iter().any(|a| a == "--metrics");
+    let timeline = args.iter().any(|a| a == "--timeline");
     // `--only` takes every following token up to the next flag. `tab03` is
     // an alias for `tab01` (one run produces both tables).
     let only: Option<Vec<String>> = args.iter().position(|a| a == "--only").map(|i| {
@@ -201,6 +205,16 @@ fn main() {
         eprintln!(
             "[repro] telemetry written to {out_dir}/metrics.json, {out_dir}/timeseries.json, \
              {out_dir}/profile.folded"
+        );
+    }
+    if timeline {
+        eprintln!("[repro] running causal timeline pass …");
+        let report = dilos_bench::timeline::write_timeline_artifacts(micro, serve, &out_dir)
+            .expect("write timeline");
+        println!("{}", report.render());
+        eprintln!(
+            "[repro] timelines written to {out_dir}/timeline.json, \
+             {out_dir}/serve_timeline.json; tail report in {out_dir}/tail.md, {out_dir}/tail.json"
         );
     }
 }

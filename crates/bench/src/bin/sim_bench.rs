@@ -1,0 +1,103 @@
+//! Self-benchmark for the simulator core: runs the tab01 and serve
+//! workloads twice, checks the two runs' censuses (events, faults, digests)
+//! are identical, and writes `BENCH_sim.json` at the workspace root so the
+//! event loop's throughput is tracked PR-over-PR like `BENCH_lint.json`.
+//!
+//! Every host-timing-derived value lives in the single `"wall_clock"` line;
+//! the rest of the file is byte-stable, so CI compares two fresh runs with
+//! `grep -v '"wall_clock"' | cmp`. Host timing is fine here — this is the
+//! bench crate, outside rule R1's scope.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dilos_bench::micro::MicroScale;
+use dilos_bench::serve::ServeScale;
+use dilos_bench::simbench::{census_json, census_serve, census_tab01, WorkloadCensus};
+
+fn main() -> ExitCode {
+    let micro = MicroScale::default();
+    let serve = ServeScale::default();
+
+    let run = || -> (Vec<WorkloadCensus>, Vec<f64>) {
+        let mut censuses = Vec::new();
+        let mut elapsed_ms = Vec::new();
+        let t0 = Instant::now();
+        censuses.push(census_tab01(micro));
+        elapsed_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t1 = Instant::now();
+        censuses.push(census_serve(serve));
+        elapsed_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+        (censuses, elapsed_ms)
+    };
+
+    let (cold, cold_ms) = run();
+    let (warm, warm_ms) = run();
+    if census_json(&cold) != census_json(&warm) {
+        eprintln!("sim_bench: two runs disagree — the simulator is nondeterministic");
+        return ExitCode::FAILURE;
+    }
+
+    // Rates come from the warm run (allocator and caches settled).
+    let mut wall = String::from("  \"wall_clock\": {");
+    for (i, c) in warm.iter().enumerate() {
+        let warm_s = (warm_ms[i] / 1e3).max(1e-9);
+        let _ = std::fmt::Write::write_fmt(
+            &mut wall,
+            format_args!(
+                "{}\"{id}_cold_ms\": {:.3}, \"{id}_warm_ms\": {:.3}, \
+                 \"{id}_events_per_sec\": {:.0}, \"{id}_faults_per_sec\": {:.0}",
+                if i > 0 { ", " } else { "" },
+                cold_ms[i],
+                warm_ms[i],
+                c.events as f64 / warm_s,
+                c.faults as f64 / warm_s,
+                id = c.id,
+            ),
+        );
+    }
+    wall.push('}');
+
+    let json = format!(
+        "{{\n  \"bench\": \"dilos-sim event loop (tab01 + serve)\",\n{},\n  \
+         \"runs_identical\": true,\n{wall}\n}}\n",
+        census_json(&warm),
+    );
+    let out = workspace_root().join("BENCH_sim.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("sim_bench: writing {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    print!("{json}");
+    for (i, c) in warm.iter().enumerate() {
+        let warm_s = (warm_ms[i] / 1e3).max(1e-9);
+        eprintln!(
+            "sim_bench: {} — {:.0} events/sec, {:.0} faults/sec ({} events, {} faults, {:.1} ms)",
+            c.id,
+            c.events as f64 / warm_s,
+            c.faults as f64 / warm_s,
+            c.events,
+            c.faults,
+            warm_ms[i],
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`; falls back to the current directory.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -15,7 +15,9 @@ pub mod micro;
 pub mod recover;
 pub mod redis_exp;
 pub mod serve;
+pub mod simbench;
 pub mod table;
 pub mod telemetry;
+pub mod timeline;
 
 pub use table::Report;

@@ -19,7 +19,7 @@
 //! bound fails, which is the point.
 
 use dilos_core::{ClusterConfig, ServingCluster, TenantSpec};
-use dilos_sim::Observability;
+use dilos_sim::{CausalTracer, Observability, ServiceClass};
 
 use crate::loadgen::{drive, Arrival, RequestKind, TenantLoad, TenantResult};
 use crate::table::{us, Report};
@@ -98,10 +98,43 @@ fn noisy_load(scale: ServeScale) -> TenantLoad {
     }
 }
 
+/// One tenant's metric lane: fault counts from its node's hand counters
+/// plus its attributed wire bytes across all service classes. These are the
+/// per-tenant numbers the causal tail exemplars are cross-checked against.
+#[derive(Debug, Clone, Copy)]
+struct TenantLane {
+    major: u64,
+    minor: u64,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
 struct Pass {
     results: Vec<TenantResult>,
+    lanes: Vec<TenantLane>,
     digest: u64,
     audit: Vec<(u8, Vec<String>)>,
+}
+
+fn tenant_lanes(cluster: &ServingCluster) -> Vec<TenantLane> {
+    (0..cluster.len())
+        .map(|i| {
+            let stats = cluster.tenant_ref(i).stats();
+            let (mut tx_bytes, mut rx_bytes) = (0u64, 0u64);
+            let ep = cluster.pool().endpoint();
+            for class in ServiceClass::ALL {
+                let (tx, rx) = ep.tenant_class_bytes(i as u8, class);
+                tx_bytes += tx;
+                rx_bytes += rx;
+            }
+            TenantLane {
+                major: stats.major_faults,
+                minor: stats.minor_faults,
+                tx_bytes,
+                rx_bytes,
+            }
+        })
+        .collect()
 }
 
 /// Runs one pass: victims (+ optionally the noisy neighbor), QoS on/off.
@@ -121,13 +154,102 @@ fn run_pass(scale: ServeScale, with_noisy: bool, qos: bool) -> Pass {
         ..ClusterConfig::default()
     });
     let results = drive(&mut cluster, &loads);
+    let lanes = tenant_lanes(&cluster);
     let audit = cluster.audit_reports();
     let digest = cluster.tenant(0).trace_digest();
     Pass {
         results,
+        lanes,
         digest,
         audit,
     }
+}
+
+/// Boots the contended pass (victims + noisy neighbor) with causal tracing
+/// armed on every traced tenant and returns one labelled track per tenant:
+/// `(label, tracer, trace digest)`. The labels become Perfetto process
+/// names, so a cluster timeline reads as one track group per tenant.
+pub fn serve_timeline_tracks(scale: ServeScale, qos: bool) -> Vec<(String, CausalTracer, u64)> {
+    let obs = [
+        Observability::audited().with_timeline(),
+        Observability::tracing().with_timeline(),
+        Observability::tracing().with_timeline(),
+    ];
+    let tenants = vec![
+        victim_spec(obs[0].clone()),
+        victim_spec(obs[1].clone()),
+        TenantSpec {
+            obs: obs[2].clone(),
+            ..noisy_spec()
+        },
+    ];
+    let loads = vec![
+        victim_load(scale, 0xA0),
+        victim_load(scale, 0xB1),
+        noisy_load(scale),
+    ];
+    let mut cluster = ServingCluster::boot(ClusterConfig {
+        qos,
+        tenants,
+        ..ClusterConfig::default()
+    });
+    drive(&mut cluster, &loads);
+    let roles = ["victim", "victim", "noisy"];
+    let mode = if qos { "qos-on" } else { "qos-off" };
+    obs.iter()
+        .enumerate()
+        .map(|(i, o)| {
+            (
+                format!("tenant{i} ({}, {mode})", roles[i]),
+                o.causal().clone(),
+                cluster.tenant(i).trace_digest(),
+            )
+        })
+        .collect()
+}
+
+/// Cluster-wide census of the contended pass, for `sim_bench`: total trace
+/// events across all tenants, total demand faults (major + minor), and the
+/// per-tenant trace digests. Tenants run with plain tracing — no causal
+/// assembly — so the census measures the bare event loop.
+pub fn serve_census(scale: ServeScale, qos: bool) -> (u64, u64, Vec<u64>) {
+    let obs = [
+        Observability::tracing(),
+        Observability::tracing(),
+        Observability::tracing(),
+    ];
+    let tenants = vec![
+        victim_spec(obs[0].clone()),
+        victim_spec(obs[1].clone()),
+        TenantSpec {
+            obs: obs[2].clone(),
+            ..noisy_spec()
+        },
+    ];
+    let loads = vec![
+        victim_load(scale, 0xA0),
+        victim_load(scale, 0xB1),
+        noisy_load(scale),
+    ];
+    let mut cluster = ServingCluster::boot(ClusterConfig {
+        qos,
+        tenants,
+        ..ClusterConfig::default()
+    });
+    drive(&mut cluster, &loads);
+    // Digest first: digesting quiesces each tenant, which may flush a few
+    // final events into the sinks.
+    let digests: Vec<u64> = (0..cluster.len())
+        .map(|i| cluster.tenant(i).trace_digest())
+        .collect();
+    let events = obs.iter().map(|o| o.trace().count()).sum();
+    let faults = (0..cluster.len())
+        .map(|i| {
+            let s = cluster.tenant_ref(i).stats();
+            s.major_faults + s.minor_faults
+        })
+        .sum();
+    (events, faults, digests)
 }
 
 /// The serving table: per-pass, per-tenant latency percentiles.
@@ -135,7 +257,8 @@ pub fn serve_qos(scale: ServeScale) -> Report {
     let mut report = Report::new(
         "Serve — multi-tenant tail latency under a noisy neighbor",
         &[
-            "pass", "tenant", "role", "requests", "p50", "p90", "p99", "p99.9", "mean",
+            "pass", "tenant", "role", "requests", "p50", "p90", "p99", "p99.9", "mean", "major",
+            "minor", "rx KiB", "tx KiB",
         ],
     );
     let passes = [
@@ -147,6 +270,7 @@ pub fn serve_qos(scale: ServeScale) -> Report {
     for (name, pass) in &passes {
         for (id, r) in pass.results.iter().enumerate() {
             let role = if id < 2 { "victim" } else { "noisy" };
+            let lane = pass.lanes.get(id);
             report.row(vec![
                 (*name).into(),
                 id.to_string(),
@@ -157,6 +281,10 @@ pub fn serve_qos(scale: ServeScale) -> Report {
                 us(r.latency.p99()),
                 us(r.latency.p999()),
                 us(r.latency.mean()),
+                lane.map_or(0, |l| l.major).to_string(),
+                lane.map_or(0, |l| l.minor).to_string(),
+                (lane.map_or(0, |l| l.rx_bytes) / 1024).to_string(),
+                (lane.map_or(0, |l| l.tx_bytes) / 1024).to_string(),
             ]);
         }
         report.digest(format!("{name} (victim 0)"), pass.digest);
@@ -187,6 +315,12 @@ pub fn serve_qos(scale: ServeScale) -> Report {
          and the wire is FCFS.",
     );
     report.note("Audited victim (tenant 0) ran clean in every pass unless noted above.");
+    report.note(
+        "Per-tenant lanes (major/minor faults, attributed wire bytes) cross-check \
+         the causal tail exemplars in results/tail.{md,json}: a victim tail blowup \
+         with QoS off shows up as transfer-dominated exemplars while the noisy \
+         tenant's rx lane saturates.",
+    );
     report
 }
 
@@ -205,5 +339,24 @@ mod tests {
         let b = serve_qos(scale).to_json();
         assert_eq!(a, b, "serve table must be byte-stable");
         assert!(a.contains("HELD"), "QoS-on must hold the stated bound");
+        assert!(a.contains("rx KiB"), "per-tenant wire lanes missing");
+    }
+
+    #[test]
+    fn serve_timeline_tracks_are_per_tenant_and_deterministic() {
+        let scale = ServeScale {
+            victim_requests: 60,
+            victim_mean_ns: 50_000,
+            noisy_requests: 30,
+        };
+        let a = serve_timeline_tracks(scale, true);
+        let b = serve_timeline_tracks(scale, true);
+        assert_eq!(a.len(), 3);
+        assert!(a[0].0.contains("victim") && a[2].0.contains("noisy"));
+        for ((_, ta, da), (_, tb, db)) in a.iter().zip(&b) {
+            assert_eq!(da, db, "per-tenant digests must be deterministic");
+            assert_eq!(ta.request_count(), tb.request_count());
+            assert!(ta.request_count() > 0, "tenant saw no requests");
+        }
     }
 }

@@ -1,0 +1,132 @@
+//! The simulator self-benchmark behind `sim_bench` / `BENCH_sim.json`.
+//!
+//! Two representative workloads exercise the event loop end to end:
+//!
+//! * **tab01** — the four Tables 1 & 3 systems (Fastswap + three DiLOS
+//!   prefetcher configurations) driving the sequential-read microbenchmark,
+//! * **serve** — the contended multi-tenant serving cluster with QoS on
+//!   (three tenants, shared wire, bandwidth shares and frame quotas).
+//!
+//! For each workload this module produces a *census*: total trace events
+//! emitted, total demand faults (major + minor), and the run's trace
+//! digests — all virtual-clock quantities, byte-stable across runs. The
+//! `sim_bench` binary times two back-to-back censuses on the host clock,
+//! checks they agree (the determinism gate), and writes `BENCH_sim.json`
+//! with the census plus a single clearly-marked `"wall_clock"` line holding
+//! every host-timing-derived number (events/sec, faults/sec, elapsed ms) so
+//! CI can `grep -v wall_clock` and `cmp` the deterministic remainder.
+
+use std::fmt::Write as _;
+
+use dilos_apps::farmem::SystemSpec;
+use dilos_apps::seqrw::SeqWorkload;
+use dilos_sim::{Observability, PAGE_SIZE};
+
+use crate::micro::MicroScale;
+use crate::serve::{serve_census, ServeScale};
+use crate::telemetry::METERED;
+
+/// One workload's deterministic measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadCensus {
+    /// Stable id used as the JSON key ("tab01", "serve").
+    pub id: &'static str,
+    /// Trace events emitted across every system/tenant in the workload.
+    pub events: u64,
+    /// Demand faults (major + minor) across the workload.
+    pub faults: u64,
+    /// Trace digests, one per system/tenant, in boot order.
+    pub digests: Vec<u64>,
+}
+
+/// Runs the tab01 systems under plain tracing and counts what the event
+/// loop did. Digesting precedes counting: it quiesces each system, which
+/// can flush a few final events.
+pub fn census_tab01(scale: MicroScale) -> WorkloadCensus {
+    let ws = (scale.pages * PAGE_SIZE) as u64;
+    let wl = SeqWorkload { pages: scale.pages };
+    let (mut events, mut faults, mut digests) = (0u64, 0u64, Vec::new());
+    for (_, kind) in METERED {
+        let obs = Observability::tracing();
+        let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio)
+            .observed(obs.clone())
+            .boot();
+        let base = wl.populate(mem.as_mut());
+        wl.read_pass(mem.as_mut(), base);
+        digests.push(mem.trace_digest());
+        events += obs.trace().count();
+        let (major, minor, _zero) = mem.fault_counters();
+        faults += major + minor;
+    }
+    WorkloadCensus {
+        id: "tab01",
+        events,
+        faults,
+        digests,
+    }
+}
+
+/// Runs the contended serving cluster (QoS on) and counts what its event
+/// loop did.
+pub fn census_serve(scale: ServeScale) -> WorkloadCensus {
+    let (events, faults, digests) = serve_census(scale, true);
+    WorkloadCensus {
+        id: "serve",
+        events,
+        faults,
+        digests,
+    }
+}
+
+/// Renders the deterministic half of `BENCH_sim.json` (everything except
+/// the `"wall_clock"` line): byte-stable across runs.
+pub fn census_json(censuses: &[WorkloadCensus]) -> String {
+    let mut out = String::from("  \"workloads\": {\n");
+    for (i, c) in censuses.iter().enumerate() {
+        let digests: Vec<String> = c.digests.iter().map(|d| format!("\"{d:#018x}\"")).collect();
+        let _ = write!(
+            out,
+            "    \"{}\": {{\n      \"events\": {},\n      \"faults\": {},\n      \
+             \"digests\": [{}]\n    }}{}\n",
+            c.id,
+            c.events,
+            c.faults,
+            digests.join(", "),
+            if i + 1 < censuses.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn censuses_are_deterministic_and_nonzero() {
+        let micro = MicroScale {
+            pages: 256,
+            ratio: 25,
+        };
+        let serve = ServeScale {
+            victim_requests: 60,
+            victim_mean_ns: 50_000,
+            noisy_requests: 30,
+        };
+        let a = [census_tab01(micro), census_serve(serve)];
+        let b = [census_tab01(micro), census_serve(serve)];
+        assert_eq!(a, b, "census must be byte-stable");
+        for c in &a {
+            assert!(c.events > 0, "{}: no events", c.id);
+            assert!(c.faults > 0, "{}: no faults", c.id);
+            assert!(c.digests.iter().all(|&d| d != 0), "{}: zero digest", c.id);
+        }
+        assert_eq!(a[0].digests.len(), METERED.len());
+        assert_eq!(a[1].digests.len(), 3, "three tenants");
+        let json = census_json(&a);
+        assert_eq!(json, census_json(&b));
+        assert!(json.contains("\"tab01\"") && json.contains("\"serve\""));
+        assert!(!json.contains("wall_clock"), "census carries no host time");
+    }
+}

@@ -47,6 +47,9 @@ pub struct SystemTelemetry {
     pub series_json: String,
     /// Fault-latency histograms JSON object.
     pub histograms_json: String,
+    /// Per-phase latency quantiles JSON object (p50/p90/p99/p999 of the
+    /// per-span phase durations).
+    pub phase_quantiles_json: String,
     /// Folded stacks, each line prefixed `id;`.
     pub folded: String,
     /// Sampler interval in virtual ns.
@@ -96,6 +99,7 @@ pub fn collect(scale: crate::micro::MicroScale) -> Vec<SystemTelemetry> {
             gauges_json: metrics.gauges_json(),
             series_json: metrics.series_json(),
             histograms_json: profiler.histograms_json(),
+            phase_quantiles_json: profiler.phase_quantiles_json(),
             folded,
             interval_ns: metrics.sample_interval_ns(),
         });
@@ -126,7 +130,8 @@ pub fn metrics_json(systems: &[SystemTelemetry]) -> String {
             out,
             "  \"{}\": {{\n    \"label\": \"{}\",\n    \"digest\": \"{:#018x}\",\n    \
              \"major\": {},\n    \"minor\": {},\n    \"zero_fill\": {},\n    \
-             \"counters\": {},\n    \"gauges\": {},\n    \"histograms\": {}\n  }}",
+             \"counters\": {},\n    \"gauges\": {},\n    \"histograms\": {},\n    \
+             \"phase_quantiles\": {}\n  }}",
             s.id,
             s.label,
             s.digest,
@@ -136,6 +141,7 @@ pub fn metrics_json(systems: &[SystemTelemetry]) -> String {
             indent(&s.counters_json, 4),
             indent(&s.gauges_json, 4),
             indent(&s.histograms_json, 4),
+            indent(&s.phase_quantiles_json, 4),
         );
         out.push_str(if i + 1 < systems.len() { ",\n" } else { "\n" });
     }
@@ -251,6 +257,28 @@ mod tests {
         assert!(m.starts_with("{\n") && m.ends_with("}\n"));
         for (id, _) in METERED {
             assert!(m.contains(&format!("\"{id}\"")), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn metrics_json_carries_phase_quantiles() {
+        let systems = collect(tiny());
+        let m = metrics_json(&systems);
+        assert!(m.contains("\"phase_quantiles\": {"));
+        for s in &systems {
+            if s.id == "fastswap" {
+                // Baselines do not emit FaultPhase events; their object is
+                // empty but present.
+                assert_eq!(s.phase_quantiles_json, "{}", "{}", s.id);
+                continue;
+            }
+            assert!(
+                s.phase_quantiles_json.contains("\"fetch\""),
+                "{}: fetch phase missing from {}",
+                s.id,
+                s.phase_quantiles_json
+            );
+            assert!(s.phase_quantiles_json.contains("\"p999\""), "{}", s.id);
         }
     }
 }

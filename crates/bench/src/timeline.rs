@@ -1,0 +1,563 @@
+//! Causal timeline export and critical-path tail analysis.
+//!
+//! `repro --timeline` boots the tab01 systems (and the contended serving
+//! cluster) with the [`CausalTracer`] armed, then renders two kinds of
+//! artifact from the assembled span trees:
+//!
+//! * **`timeline.json` / `serve_timeline.json`** — Chrome trace-event JSON
+//!   (the format `chrome://tracing` and <https://ui.perfetto.dev> open
+//!   directly). One process per system or tenant, one thread track per
+//!   faulting core plus dedicated prefetch / evict / reclaim lanes and one
+//!   lane per memory node for RDMA verb spans. All timestamps are the
+//!   simulator's *virtual* clock (µs), so two runs produce byte-identical
+//!   files.
+//! * **`tail.md` / `tail.json`** — the k worst demand-fault exemplars per
+//!   track with their [`critical_path`] breakdown (queueing / transfer /
+//!   service / replay) and full span trees, so a p99.9 blowup can be read
+//!   causally ("this fault spent 92 % of its life queueing behind the
+//!   noisy tenant's transfers") instead of statistically.
+//!
+//! Arming the tracer never perturbs data-path timing: the per-track trace
+//! digests recorded here equal the unarmed tab01 digests, and a tier-1 test
+//! pins that equality.
+
+use std::fmt::Write as _;
+
+use dilos_apps::farmem::SystemSpec;
+use dilos_apps::seqrw::SeqWorkload;
+use dilos_sim::TraceEvent;
+use dilos_sim::{critical_path, CausalTracer, Ns, Observability, ReqKind, RequestTrace, PAGE_SIZE};
+
+use crate::micro::MicroScale;
+use crate::serve::{serve_timeline_tracks, ServeScale};
+use crate::table::{us, Report};
+use crate::telemetry::METERED;
+
+/// How many worst-case exemplars the tail report keeps per track.
+pub const TAIL_K: usize = 5;
+
+/// Synthetic thread ids for non-core lanes (cores use their own number).
+const TID_PREFETCH: u32 = 80;
+const TID_EVICT: u32 = 81;
+const TID_RECLAIM: u32 = 82;
+const TID_NODE_BASE: u32 = 100;
+
+/// One armed run: a Perfetto process track plus its causal record.
+#[derive(Debug, Clone)]
+pub struct TimelineTrack {
+    /// Process name in the exported timeline.
+    pub label: String,
+    /// Trace digest of the armed run (must equal the unarmed digest).
+    pub digest: u64,
+    /// The assembled span trees.
+    pub tracer: CausalTracer,
+}
+
+/// Boots every tab01 system with the causal tracer armed and drives the
+/// sequential-read workload, returning one labelled track per system.
+pub fn collect_timeline(scale: MicroScale) -> Vec<TimelineTrack> {
+    let ws = (scale.pages * PAGE_SIZE) as u64;
+    let wl = SeqWorkload { pages: scale.pages };
+    let mut out = Vec::new();
+    for (id, kind) in METERED {
+        let obs = Observability::tracing().with_timeline();
+        let mut mem = SystemSpec::for_working_set(kind, ws, scale.ratio)
+            .observed(obs.clone())
+            .boot();
+        let base = wl.populate(mem.as_mut());
+        wl.read_pass(mem.as_mut(), base);
+        let digest = mem.trace_digest();
+        out.push(TimelineTrack {
+            label: id.to_string(),
+            digest,
+            tracer: obs.causal().clone(),
+        });
+    }
+    out
+}
+
+/// Formats a virtual-ns stamp as Chrome's microsecond field. Pure integer
+/// arithmetic in, fixed three-decimal rendering out: byte-stable.
+fn ts_us(t: Ns) -> String {
+    format!("{}.{:03}", t / 1_000, t % 1_000)
+}
+
+fn push_event(out: &mut String, first: &mut bool, ev: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("    ");
+    out.push_str(ev);
+}
+
+fn span_tid(r: &RequestTrace) -> u32 {
+    match r.kind {
+        ReqKind::Prefetch => TID_PREFETCH,
+        ReqKind::Evict => TID_EVICT,
+        _ => u32::from(r.core),
+    }
+}
+
+fn tid_name(tid: u32) -> String {
+    match tid {
+        TID_PREFETCH => "prefetch".into(),
+        TID_EVICT => "evict".into(),
+        TID_RECLAIM => "reclaim-bg".into(),
+        t if t >= TID_NODE_BASE => format!("memnode{} rdma", t - TID_NODE_BASE),
+        t => format!("core{t} faults"),
+    }
+}
+
+/// Renders a set of tracks as Chrome trace-event JSON (`{"traceEvents":
+/// [...]}`). Every value derives from the virtual clock and the request
+/// register, so the output is byte-identical across runs.
+pub fn chrome_trace_json(tracks: &[(String, &CausalTracer)]) -> String {
+    let mut out = String::from("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    for (pid0, (label, tracer)) in tracks.iter().enumerate() {
+        let pid = pid0 + 1;
+        let reqs = tracer.requests();
+        let episodes = tracer.reclaim_episodes();
+        // Thread metadata for every lane this track actually uses, in
+        // ascending tid order.
+        let mut tids: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        for r in &reqs {
+            tids.insert(span_tid(r));
+            for (_, ev) in &r.events {
+                if let TraceEvent::RdmaIssue { node, .. } = ev {
+                    tids.insert(TID_NODE_BASE + u32::from(*node));
+                }
+            }
+        }
+        if !episodes.is_empty() {
+            tids.insert(TID_RECLAIM);
+        }
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+        );
+        for tid in &tids {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    tid_name(*tid)
+                ),
+            );
+        }
+        // One complete ("X") slice per request, plus verb slices on the
+        // owning memnode lane.
+        for r in &reqs {
+            let b = critical_path(r);
+            let vpn = if r.vpn == u64::MAX {
+                "-".to_string()
+            } else {
+                format!("{:#x}", r.vpn)
+            };
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"dur\":{},\
+                     \"name\":\"{} vpn={vpn}\",\"args\":{{\"req\":{},\
+                     \"queueing_ns\":{},\"transfer_ns\":{},\"service_ns\":{},\
+                     \"replay_ns\":{},\"other_ns\":{},\"dominant\":\"{}\"}}}}",
+                    span_tid(r),
+                    ts_us(r.begin),
+                    ts_us(r.total()),
+                    r.kind.label(),
+                    r.id,
+                    b.queueing,
+                    b.transfer,
+                    b.service,
+                    b.replay,
+                    b.other,
+                    b.dominant(),
+                ),
+            );
+            // Verb sub-spans: FIFO-pair issues with completions per queue
+            // pair, drawn on the serving memnode's lane.
+            let mut open: std::collections::BTreeMap<(u8, bool, u8, u8), Vec<Ns>> =
+                std::collections::BTreeMap::new();
+            for (t, ev) in &r.events {
+                match *ev {
+                    TraceEvent::RdmaIssue {
+                        class,
+                        write,
+                        node,
+                        core,
+                        ..
+                    } => open
+                        .entry((class.idx() as u8, write, node, core))
+                        .or_default()
+                        .push(*t),
+                    TraceEvent::RdmaComplete {
+                        class,
+                        write,
+                        node,
+                        core,
+                        done,
+                    } => {
+                        let key = (class.idx() as u8, write, node, core);
+                        let issued = open.get_mut(&key).and_then(|q| {
+                            if q.is_empty() {
+                                None
+                            } else {
+                                Some(q.remove(0))
+                            }
+                        });
+                        if let Some(issued) = issued {
+                            push_event(
+                                &mut out,
+                                &mut first,
+                                &format!(
+                                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\
+                                     \"dur\":{},\"name\":\"rdma {} ({})\",\
+                                     \"args\":{{\"req\":{}}}}}",
+                                    TID_NODE_BASE + u32::from(node),
+                                    ts_us(issued),
+                                    ts_us(done.saturating_sub(issued)),
+                                    if write { "write" } else { "read" },
+                                    class.label(),
+                                    r.id,
+                                ),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (begin, end, freed) in &episodes {
+            push_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{TID_RECLAIM},\"ts\":{},\"dur\":{},\
+                     \"name\":\"reclaim\",\"args\":{{\"freed\":{freed}}}}}",
+                    ts_us(*begin),
+                    ts_us(end.saturating_sub(*begin)),
+                ),
+            );
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// One tail exemplar: a worst-case demand fault and where its time went.
+#[derive(Debug, Clone)]
+pub struct TailExemplar {
+    /// Track (system or tenant) the fault belongs to.
+    pub track: String,
+    /// The full span tree.
+    pub request: RequestTrace,
+    /// Its critical-path attribution.
+    pub breakdown: dilos_sim::PhaseBreakdown,
+}
+
+fn is_demand_fault(kind: ReqKind) -> bool {
+    matches!(
+        kind,
+        ReqKind::MajorFault | ReqKind::MinorFault | ReqKind::ZeroFill
+    )
+}
+
+/// Picks the `k` slowest demand faults of one track (ties broken by the
+/// earlier request id, so the pick is deterministic).
+pub fn worst_faults(
+    tracer: &CausalTracer,
+    k: usize,
+) -> Vec<(RequestTrace, dilos_sim::PhaseBreakdown)> {
+    let mut faults: Vec<RequestTrace> = tracer
+        .requests()
+        .into_iter()
+        .filter(|r| is_demand_fault(r.kind))
+        .collect();
+    faults.sort_by(|a, b| b.total().cmp(&a.total()).then(a.id.cmp(&b.id)));
+    faults
+        .into_iter()
+        .take(k)
+        .map(|r| {
+            let b = critical_path(&r);
+            (r, b)
+        })
+        .collect()
+}
+
+/// Collects the tail exemplars across every track.
+pub fn tail_exemplars(tracks: &[(String, &CausalTracer)], k: usize) -> Vec<TailExemplar> {
+    let mut out = Vec::new();
+    for (label, tracer) in tracks {
+        for (request, breakdown) in worst_faults(tracer, k) {
+            out.push(TailExemplar {
+                track: label.clone(),
+                request,
+                breakdown,
+            });
+        }
+    }
+    out
+}
+
+fn event_line(t: Ns, ev: &TraceEvent) -> String {
+    format!("{} {ev:?}", us(t))
+}
+
+/// Renders `tail.md`: per-track worst-fault tables plus indented span
+/// trees for each exemplar.
+pub fn tail_md(exemplars: &[TailExemplar]) -> String {
+    let mut out = String::from(
+        "# Causal tail exemplars\n\n\
+         The k slowest demand faults per track, with end-to-end latency\n\
+         attributed along the critical path. All times are virtual µs; the\n\
+         span trees list every event the causal tracer attributed to the\n\
+         request id, in emission order.\n",
+    );
+    let mut track = "";
+    for e in exemplars {
+        if e.track != track {
+            track = &e.track;
+            let _ = write!(
+                out,
+                "\n## {track}\n\n\
+                 | req | kind | core | vpn | begin | total | queueing | transfer \
+                 | service | replay | other | dominant |\n\
+                 |---|---|---|---|---|---|---|---|---|---|---|---|\n"
+            );
+            for peer in exemplars.iter().filter(|p| p.track == e.track) {
+                let r = &peer.request;
+                let b = &peer.breakdown;
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {:#x} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                    r.id,
+                    r.kind.label(),
+                    r.core,
+                    r.vpn,
+                    us(r.begin),
+                    us(b.total),
+                    us(b.queueing),
+                    us(b.transfer),
+                    us(b.service),
+                    us(b.replay),
+                    us(b.other),
+                    b.dominant(),
+                );
+            }
+        }
+        let r = &e.request;
+        let _ = write!(
+            out,
+            "\n### req {} — {} vpn={:#x} ({} total, dominant: {})\n\n",
+            r.id,
+            r.kind.label(),
+            r.vpn,
+            us(r.total()),
+            e.breakdown.dominant(),
+        );
+        for (t, ev) in &r.events {
+            let _ = writeln!(out, "    {}", event_line(*t, ev));
+        }
+    }
+    out
+}
+
+/// Renders `tail.json`: the same exemplars, machine-readable.
+pub fn tail_json(exemplars: &[TailExemplar]) -> String {
+    let mut out = String::from("{\n  \"exemplars\": [\n");
+    for (i, e) in exemplars.iter().enumerate() {
+        let r = &e.request;
+        let b = &e.breakdown;
+        let mut events = String::new();
+        for (j, (t, ev)) in r.events.iter().enumerate() {
+            let _ = write!(
+                events,
+                "{}\n        {{\"t_ns\": {t}, \"event\": \"{ev:?}\"}}",
+                if j > 0 { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "    {{\n      \"track\": \"{}\",\n      \"req\": {},\n      \
+             \"kind\": \"{}\",\n      \"core\": {},\n      \"vpn\": {},\n      \
+             \"begin_ns\": {},\n      \"total_ns\": {},\n      \
+             \"queueing_ns\": {},\n      \"transfer_ns\": {},\n      \
+             \"service_ns\": {},\n      \"replay_ns\": {},\n      \
+             \"other_ns\": {},\n      \"dominant\": \"{}\",\n      \
+             \"events\": [{events}\n      ]\n    }}{}\n",
+            e.track,
+            r.id,
+            r.kind.label(),
+            r.core,
+            r.vpn,
+            r.begin,
+            b.total,
+            b.queueing,
+            b.transfer,
+            b.service,
+            b.replay,
+            b.other,
+            b.dominant(),
+            if i + 1 < exemplars.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the armed tab01 systems and the contended serving cluster, writes
+/// `timeline.json`, `serve_timeline.json`, `tail.md`, and `tail.json`
+/// under `out_dir`, and returns a human summary table.
+pub fn write_timeline_artifacts(
+    scale: MicroScale,
+    serve_scale: ServeScale,
+    out_dir: &str,
+) -> std::io::Result<Report> {
+    let micro = collect_timeline(scale);
+    let micro_tracks: Vec<(String, &CausalTracer)> =
+        micro.iter().map(|t| (t.label.clone(), &t.tracer)).collect();
+    std::fs::write(
+        format!("{out_dir}/timeline.json"),
+        chrome_trace_json(&micro_tracks),
+    )?;
+    // The serving cluster, contended, with and without QoS: the per-tenant
+    // tracks cross-check the serve table's lanes.
+    let mut serve_owned: Vec<(String, CausalTracer, u64)> = Vec::new();
+    for qos in [false, true] {
+        serve_owned.extend(serve_timeline_tracks(serve_scale, qos));
+    }
+    let serve_tracks: Vec<(String, &CausalTracer)> = serve_owned
+        .iter()
+        .map(|(label, tracer, _)| (label.clone(), tracer))
+        .collect();
+    std::fs::write(
+        format!("{out_dir}/serve_timeline.json"),
+        chrome_trace_json(&serve_tracks),
+    )?;
+    let mut all_tracks = micro_tracks;
+    all_tracks.extend(serve_tracks);
+    let exemplars = tail_exemplars(&all_tracks, TAIL_K);
+    std::fs::write(format!("{out_dir}/tail.md"), tail_md(&exemplars))?;
+    std::fs::write(format!("{out_dir}/tail.json"), tail_json(&exemplars))?;
+
+    let mut report = Report::new(
+        "Timeline — causal span trees (tab01 systems + serving cluster)",
+        &["track", "requests", "worst fault", "dominant"],
+    );
+    for (label, tracer) in &all_tracks {
+        let worst = worst_faults(tracer, 1);
+        let (total, dominant) = worst
+            .first()
+            .map_or((0, "none"), |(r, b)| (r.total(), b.dominant()));
+        report.row(vec![
+            label.clone(),
+            tracer.request_count().to_string(),
+            us(total),
+            dominant.to_string(),
+        ]);
+    }
+    for t in &micro {
+        report.digest(t.label.clone(), t.digest);
+    }
+    for (label, _, digest) in &serve_owned {
+        report.digest(label.clone(), *digest);
+    }
+    report.note(format!(
+        "Artifacts: {out_dir}/timeline.json, {out_dir}/serve_timeline.json, \
+         {out_dir}/tail.md, {out_dir}/tail.json."
+    ));
+    report.note("Open the timelines at https://ui.perfetto.dev (or chrome://tracing).");
+    report.note("Digests match the unarmed tab01 run: the causal tracer is a pure observer.");
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MicroScale {
+        MicroScale {
+            pages: 256,
+            ratio: 25,
+        }
+    }
+
+    #[test]
+    fn collect_covers_every_system_and_is_deterministic() {
+        let a = collect_timeline(tiny());
+        let b = collect_timeline(tiny());
+        assert_eq!(a.len(), METERED.len());
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.digest, tb.digest, "{}", ta.label);
+            assert!(ta.tracer.request_count() > 0, "{}: no requests", ta.label);
+            assert_eq!(
+                ta.tracer.request_count(),
+                tb.tracer.request_count(),
+                "{}",
+                ta.label
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_byte_stable_and_well_formed() {
+        let mk = || {
+            let tracks = collect_timeline(tiny());
+            let pairs: Vec<(String, &CausalTracer)> = tracks
+                .iter()
+                .map(|t| (t.label.clone(), &t.tracer))
+                .collect();
+            chrome_trace_json(&pairs)
+        };
+        let a = mk();
+        assert_eq!(a, mk(), "timeline must be byte-stable");
+        assert!(a.starts_with("{\n"));
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"process_name\""));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("major-fault"));
+        assert!(a.contains("rdma read (fault)"));
+    }
+
+    #[test]
+    fn tail_picks_the_slowest_faults_first() {
+        let tracks = collect_timeline(tiny());
+        let pairs: Vec<(String, &CausalTracer)> = tracks
+            .iter()
+            .map(|t| (t.label.clone(), &t.tracer))
+            .collect();
+        let exemplars = tail_exemplars(&pairs, TAIL_K);
+        assert!(!exemplars.is_empty());
+        let mut track = "";
+        let mut last = Ns::MAX;
+        for e in &exemplars {
+            if e.track != track {
+                track = &e.track;
+                last = Ns::MAX;
+            }
+            assert!(is_demand_fault(e.request.kind));
+            assert!(e.request.total() <= last, "{track}: not sorted");
+            last = e.request.total();
+            let b = &e.breakdown;
+            assert_eq!(
+                b.queueing + b.transfer + b.service + b.replay + b.other,
+                b.total,
+                "breakdown must be exhaustive"
+            );
+        }
+        let md = tail_md(&exemplars);
+        assert!(md.contains("| req | kind |"));
+        assert!(md.contains("FaultBegin"));
+        let json = tail_json(&exemplars);
+        assert_eq!(json, tail_json(&exemplars));
+        assert!(json.contains("\"dominant\""));
+    }
+}

@@ -26,7 +26,7 @@ use std::rc::Rc;
 
 use dilos_sim::{
     Calendar, CoreClock, EventId, FaultKind, FaultPhase, MetricsRegistry, Ns, Observability,
-    PteClass, RdmaEndpoint, RdmaPort, RecoverConfig, RecoveryStats, SchedEvent, Segment,
+    PteClass, RdmaEndpoint, RdmaPort, RecoverConfig, RecoveryStats, ReqId, SchedEvent, Segment,
     ServiceClass, SimConfig, SpanProfiler, TraceEvent, TraceSink, PAGE_SIZE,
 };
 
@@ -175,6 +175,9 @@ struct InflightEntry {
     /// at its true completion time (cancelled if a fault consumes the entry
     /// first).
     event: EventId,
+    /// Causal request id of the prefetch that started this fetch (side-band
+    /// only; landing events re-attribute to it).
+    req: Option<ReqId>,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -931,15 +934,19 @@ impl Dilos {
         let costs = self.cfg.costs.clone();
         if entry.ready_at <= now {
             // Completed in the past; mapping it cost the completion path,
-            // not this access.
+            // not this access. The landing closes the *prefetch's* span.
+            let prev_req = self.trace.set_request(entry.req);
             self.trace.emit(now, TraceEvent::PrefetchLand { vpn });
             self.map_page(now, vpn, entry.frame, 0);
+            self.trace.set_request(prev_req);
             self.pt.mark_access(vpn, is_write);
             self.stats.local_hits += 1;
             self.clocks[core].advance(costs.tlb_miss_walk_ns);
             return entry.frame;
         }
-        // Minor fault: pay the exception, wait out the fetch, map.
+        // Minor fault: pay the exception, wait out the fetch, map. The wait
+        // is its own causal request; the landing still closes the prefetch.
+        let prev_req = self.trace.begin_request();
         self.trace.emit(
             now,
             TraceEvent::FaultBegin {
@@ -955,7 +962,9 @@ impl Dilos {
         }
         t = t.max(entry.ready_at) + costs.map_ns;
         self.clocks[core].wait_until(t);
+        let minor_req = self.trace.set_request(entry.req);
         self.trace.emit(t, TraceEvent::PrefetchLand { vpn });
+        self.trace.set_request(minor_req);
         self.map_page(t, vpn, entry.frame, 0);
         self.pt.mark_access(vpn, is_write);
         self.trace.emit(
@@ -965,12 +974,14 @@ impl Dilos {
                 vpn,
             },
         );
+        self.trace.set_request(prev_req);
         entry.frame
     }
 
     /// First touch of a DDC page: zero-fill, no network.
     fn fault_zero_fill(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
         let now = self.clocks[core].now();
+        let prev_req = self.trace.begin_request();
         self.trace.emit(
             now,
             TraceEvent::FaultBegin {
@@ -994,6 +1005,7 @@ impl Dilos {
                 vpn,
             },
         );
+        self.trace.set_request(prev_req);
         frame
     }
 
@@ -1006,6 +1018,7 @@ impl Dilos {
         vector: Option<Vec<(u16, u16)>>,
     ) -> u32 {
         let now = self.clocks[core].now();
+        let prev_req = self.trace.begin_request();
         self.trace.emit(
             now,
             TraceEvent::FaultBegin {
@@ -1128,6 +1141,7 @@ impl Dilos {
                 vpn,
             },
         );
+        self.trace.set_request(prev_req);
         frame
     }
 
@@ -1186,12 +1200,18 @@ impl Dilos {
             Pte::Action { action } => Some(self.actions.take(action)),
             _ => return,
         };
+        // The prefetch is its own causal request from here on: verbs and the
+        // eventual landing attribute to it, not to the fault whose hidden
+        // window issued it.
+        let prev_req = self.trace.begin_request();
+        let req = self.trace.current_request();
         let Some(frame) = self.try_alloc_prefetch_frame(t) else {
             // Out of reserve: put an action vector back if we took one.
             if let Some(v) = vector {
                 let idx = self.actions.insert(v);
                 self.set_pte(t, vpn, Pte::Action { action: idx });
             }
+            self.trace.set_request(prev_req);
             return;
         };
         let remote = (vpn - DDC_BASE_VPN) << 12;
@@ -1253,6 +1273,7 @@ impl Dilos {
                     let idx = self.actions.insert(v);
                     self.set_pte(t, vpn, Pte::Action { action: idx });
                 }
+                self.trace.set_request(prev_req);
                 return;
             }
         };
@@ -1276,6 +1297,7 @@ impl Dilos {
             vpn,
             swap_cached: self.cfg.swap_cache_mode,
             event,
+            req,
         });
         self.trace.emit(t, TraceEvent::PrefetchIssue { vpn });
         self.set_pte(t, vpn, Pte::Fetching { inflight: idx });
@@ -1283,6 +1305,7 @@ impl Dilos {
         if self.cfg.hit_tracker {
             self.tracker.track(vpn);
         }
+        self.trace.set_request(prev_req);
     }
 
     /// Claims a frame for a prefetch without ever stalling; `None` when the
@@ -1453,6 +1476,11 @@ impl Dilos {
 
     /// Delivers one calendar event at its scheduled time `t`.
     fn dispatch(&mut self, t: Ns, ev: SchedEvent) {
+        // Calendar work is background: it must never inherit the request id
+        // of whatever handler happened to drain it (e.g. a reclaim tick
+        // delivered inside a fault's allocation spin). Handlers that know
+        // better (prefetch landings, deferred completions) re-attribute.
+        let drained_req = self.trace.set_request(None);
         match ev {
             SchedEvent::PrefetchLand { vpn, token } => self.on_prefetch_land(t, vpn, token),
             SchedEvent::ReclaimTick => self.on_reclaim_tick(t),
@@ -1471,6 +1499,7 @@ impl Dilos {
             // its own — see `drain_events`), but the match must be total.
             SchedEvent::SampleTick => self.record_gauges(t),
         }
+        self.trace.set_request(drained_req);
     }
 
     /// A (pre)fetch completed at `t`: map the page into the unified page
@@ -1488,10 +1517,14 @@ impl Dilos {
         }
         self.inflight[token as usize] = None;
         self.inflight_free.push(token);
+        // The landing closes the span of the prefetch that started the
+        // fetch, so the map/PTE events join its request tree.
+        let prev_req = self.trace.set_request(entry.req);
         self.trace.emit(t, TraceEvent::PrefetchLand { vpn });
         // The payload is on the frame exactly at `t`; a core whose clock
         // lags behind the landing stalls until then (resolve's Local path).
         self.map_page(t, vpn, entry.frame, t);
+        self.trace.set_request(prev_req);
     }
 
     /// Schedules the next reclaim tick if the watermark asks for one and no
@@ -1615,6 +1648,9 @@ impl Dilos {
         if let Some(log) = &mut self.evict_log {
             log.push((vpn, self.frames.meta(frame).last_access, t));
         }
+        // Each eviction is its own causal request (whether it runs on the
+        // background reclaimer or as direct reclaim inside a fault).
+        let prev_req = self.trace.begin_request();
         self.trace.emit(t, TraceEvent::Evict { vpn, dirty });
         let remote = (vpn - DDC_BASE_VPN) << 12;
         if self.paging_guide.is_some() {
@@ -1704,6 +1740,7 @@ impl Dilos {
             self.frames.push_free(frame, available_at);
         }
         self.stats.evictions += 1;
+        self.trace.set_request(prev_req);
         available_at
     }
 

@@ -336,6 +336,41 @@ fn r9_trace_event_coverage() {
     assert!(r.violations.is_empty(), "{}", r.to_human());
 }
 
+/// The causal tracer consumes every `TraceEvent` variant when assembling
+/// span trees, but it is a passive observer: R9 must keep demanding an
+/// audit/digest-stem consumer even when a causal-style file matches every
+/// variant. (Guards the PR 9 tracing layer from silently becoming the only
+/// consumer of an event.)
+#[test]
+fn r9_causal_consumer_is_not_audit_coverage() {
+    let events = include_str!("fixtures/r9_events.rs");
+    let causal = include_str!("fixtures/r9_causal_consumer.rs");
+    // Full match in the causal observer, wildcard in the auditor: the
+    // unaudited variant still flags.
+    let r = lint_set(&[
+        ("crates/sim/src/trace_fixture.rs", events),
+        ("crates/sim/src/causal_fixture.rs", causal),
+        (
+            "crates/core/src/audit.rs",
+            include_str!("fixtures/r9_audit_violating.rs"),
+        ),
+    ]);
+    assert_eq!(r.violations.len(), 1, "{}", r.to_human());
+    let v = &r.violations[0];
+    assert_eq!((v.rule, v.id), ("R9", "trace-event-coverage"));
+    assert!(v.message.contains("Evict"), "{}", v.message);
+    // A full auditor match clears it; the causal observer stays legal.
+    let r = lint_set(&[
+        ("crates/sim/src/trace_fixture.rs", events),
+        ("crates/sim/src/causal_fixture.rs", causal),
+        (
+            "crates/core/src/audit.rs",
+            include_str!("fixtures/r9_audit_clean.rs"),
+        ),
+    ]);
+    assert!(r.violations.is_empty(), "{}", r.to_human());
+}
+
 #[test]
 fn r10_schedule_time_monotonicity() {
     let src = include_str!("fixtures/r10_violating.rs");

@@ -1,0 +1,9 @@
+/// A causal-tracer style consumer: groups events into span trees. It
+/// matches every variant, but it is an *observer*, not an auditor — R9
+/// must not count it as audit coverage.
+pub fn record(ev: &TraceEvent) -> u32 {
+    match ev {
+        TraceEvent::Fault { vpn } => (*vpn) as u32,
+        TraceEvent::Evict { vpn } => (*vpn + 1) as u32,
+    }
+}

@@ -223,7 +223,7 @@ impl RdmaPort {
     pub fn deliver_completion(&self, t: Ns, class: ServiceClass, write: bool, node: u8, core: u8) {
         self.activate();
         self.ep
-            .borrow()
+            .borrow_mut()
             .deliver_completion(t, class, write, node, core);
     }
 

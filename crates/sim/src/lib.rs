@@ -34,7 +34,12 @@
 //! - [`rng`]: deterministic random streams and the size/popularity
 //!   distributions the evaluation workloads need.
 //! - [`obs`]: the unified [`Observability`] bundle (trace + metrics +
-//!   profiler + audit flag) handed to boot paths once and threaded down.
+//!   profiler + causal tracer + audit flag) handed to boot paths once and
+//!   threaded down.
+//! - [`causal`]: per-request span trees ([`CausalTracer`]) assembled from
+//!   side-band request ids, plus the [`critical_path`] analyzer that
+//!   attributes each request's latency to queueing / transfer / service /
+//!   replay.
 //! - [`cluster`]: multi-tenant sharing of one endpoint ([`SharedPool`],
 //!   [`RdmaPort`]) with per-tenant protection keys, QP lanes, and QoS
 //!   bandwidth arbitration.
@@ -47,6 +52,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod cluster;
 pub mod config;
 pub mod ec;
@@ -64,6 +70,7 @@ pub mod time;
 pub mod timeline;
 pub mod trace;
 
+pub use causal::{critical_path, CausalTracer, PhaseBreakdown, ReqKind, RequestTrace};
 pub use cluster::{RdmaPort, SharedPool};
 pub use config::SimConfig;
 pub use ec::{EcError, Gf256, ReedSolomon};
@@ -79,4 +86,4 @@ pub use sched::{Calendar, EventId, SchedEvent};
 pub use stats::{BandwidthRecorder, LatencyHistogram};
 pub use time::{CoreClock, Ns, PAGE_SIZE};
 pub use timeline::Timeline;
-pub use trace::{FaultKind, FaultPhase, PteClass, TraceEvent, TraceObserver, TraceSink};
+pub use trace::{FaultKind, FaultPhase, PteClass, ReqId, TraceEvent, TraceObserver, TraceSink};

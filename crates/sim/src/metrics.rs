@@ -358,6 +358,9 @@ struct ProfilerCore {
     counts: BTreeMap<&'static str, u64>,
     /// Total virtual ns per fault phase across all spans.
     phase_sums: BTreeMap<&'static str, Ns>,
+    /// Per-phase duration distribution across all spans (one sample per
+    /// `FaultPhase` event), backing the per-phase latency quantiles.
+    phase_hist: BTreeMap<&'static str, LatencyHistogram>,
     /// In-flight verbs per `(class, write, node, core)` queue-pair key.
     /// Same-key verbs complete FIFO, so issue times pop front-first.
     rdma_open: BTreeMap<(u8, bool, u8, u8), VecDeque<Ns>>,
@@ -385,6 +388,10 @@ impl TraceObserver for ProfilerCore {
                     let key = format!("core{core};fault:{kind};{}", phase_label(phase));
                     *self.folded.entry(key).or_default() += dur as u128;
                     *self.phase_sums.entry(phase_label(phase)).or_default() += dur;
+                    self.phase_hist
+                        .entry(phase_label(phase))
+                        .or_default()
+                        .record(dur);
                 }
             }
             TraceEvent::FaultEnd { core, .. } => {
@@ -520,6 +527,15 @@ impl SpanProfiler {
             .and_then(|core| core.borrow().hist.get(kind).cloned())
     }
 
+    /// The per-phase duration histogram for `phase` (`"exception"`,
+    /// `"check"`, `"alloc"`, `"fetch"`, `"map"`, `"reclaim"`), if any span
+    /// charged it.
+    pub fn phase_histogram(&self, phase: &str) -> Option<LatencyHistogram> {
+        self.inner
+            .as_ref()
+            .and_then(|core| core.borrow().phase_hist.get(phase).cloned())
+    }
+
     /// The folded-stack output, one `stack value` line per stack in
     /// byte-stable (sorted) order — the format flamegraph.pl and inferno
     /// consume directly. Disabled profilers emit the empty string.
@@ -570,6 +586,36 @@ impl SpanProfiler {
                 let _ = write!(out, "[{lo}, {hi}, {n}]");
             }
             out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Per-phase latency quantiles as a byte-stable JSON object keyed by
+    /// phase label: count plus p50/p90/p99/p999 of the per-span phase
+    /// durations. Complements [`SpanProfiler::phase_sum`] (aggregate) with
+    /// tail shape — the question the causal tail report asks in bulk.
+    /// Disabled profilers emit `{}`.
+    pub fn phase_quantiles_json(&self) -> String {
+        let Some(core) = &self.inner else {
+            return "{}".to_string();
+        };
+        let c = core.borrow();
+        let mut out = String::from("{");
+        for (i, (phase, h)) in c.phase_hist.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\"{phase}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                 \"p999\": {}}}",
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile(0.999),
+            );
         }
         out.push('}');
         out
@@ -689,6 +735,48 @@ mod tests {
         let h = p.histogram("major").expect("major histogram");
         assert_eq!(h.count(), 1);
         assert_eq!(h.mean(), 2_000);
+    }
+
+    #[test]
+    fn phase_quantiles_json_carries_tail_shape() {
+        assert_eq!(SpanProfiler::disabled().phase_quantiles_json(), "{}");
+        let p = SpanProfiler::recording();
+        let sink = TraceSink::recording();
+        p.attach_to(&sink);
+        for (i, dur) in [100u64, 100, 900].iter().enumerate() {
+            let core = i as u8;
+            sink.emit(
+                0,
+                TraceEvent::FaultBegin {
+                    core,
+                    vpn: i as u64,
+                    kind: FaultKind::Major,
+                },
+            );
+            sink.emit(
+                1_000,
+                TraceEvent::FaultPhase {
+                    core,
+                    phase: FaultPhase::Fetch,
+                    dur: *dur,
+                },
+            );
+            sink.emit(
+                1_000,
+                TraceEvent::FaultEnd {
+                    core,
+                    vpn: i as u64,
+                },
+            );
+        }
+        let json = p.phase_quantiles_json();
+        assert!(json.starts_with("{\"fetch\": {\"count\": 3, \"p50\": "));
+        assert!(json.contains("\"p90\": "));
+        assert!(json.contains("\"p999\": "));
+        assert_eq!(json, p.phase_quantiles_json(), "byte-stable");
+        let h = p.phase_histogram("fetch").expect("fetch phase histogram");
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.999) >= h.quantile(0.50));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! systems from two bundles — sharing a bundle would interleave their
 //! event streams and change both digests.
 
+use crate::causal::CausalTracer;
 use crate::metrics::{MetricsRegistry, SpanProfiler};
 use crate::trace::TraceSink;
 
@@ -30,6 +31,7 @@ pub struct Observability {
     trace: TraceSink,
     metrics: MetricsRegistry,
     profiler: SpanProfiler,
+    causal: CausalTracer,
     audit: bool,
 }
 
@@ -46,6 +48,7 @@ impl Observability {
             trace: TraceSink::disabled(),
             metrics: MetricsRegistry::disabled(),
             profiler: SpanProfiler::disabled(),
+            causal: CausalTracer::disabled(),
             audit: false,
         }
     }
@@ -76,6 +79,7 @@ impl Observability {
             trace,
             metrics: MetricsRegistry::recording(),
             profiler,
+            causal: CausalTracer::disabled(),
             audit: false,
         }
     }
@@ -86,6 +90,23 @@ impl Observability {
             audit: true,
             ..Self::metered()
         }
+    }
+
+    /// Arms causal request tracing on an existing bundle: attaches a
+    /// recording [`CausalTracer`] to the trace sink (once). The tracer is a
+    /// pure observer riding the side-band request ids, so arming it leaves
+    /// the run's digest byte-identical — see `crates/sim/src/causal.rs`.
+    pub fn with_timeline(mut self) -> Self {
+        debug_assert!(
+            self.trace.is_enabled(),
+            "timeline requires a recording trace sink"
+        );
+        if !self.causal.is_enabled() {
+            let causal = CausalTracer::recording();
+            causal.attach_to(&self.trace);
+            self.causal = causal;
+        }
+        self
     }
 
     /// Adds the auditor flag to an existing bundle (the sink must already
@@ -112,6 +133,12 @@ impl Observability {
     /// The shared span profiler handle.
     pub fn profiler(&self) -> &SpanProfiler {
         &self.profiler
+    }
+
+    /// The shared causal tracer handle (dark unless
+    /// [`Observability::with_timeline`] armed it).
+    pub fn causal(&self) -> &CausalTracer {
+        &self.causal
     }
 
     /// Whether the boot path should attach an online auditor.
@@ -150,6 +177,23 @@ mod tests {
         let full = Observability::full();
         assert!(full.metrics().is_enabled());
         assert!(full.audit());
+    }
+
+    #[test]
+    fn with_timeline_arms_the_causal_tracer_once() {
+        let obs = Observability::tracing();
+        assert!(!obs.causal().is_enabled());
+        let armed = obs.with_timeline();
+        assert!(armed.causal().is_enabled());
+        // Idempotent: re-arming must not attach a second observer.
+        let again = armed.clone().with_timeline();
+        again.trace().begin_request();
+        again
+            .trace()
+            .emit(1, crate::trace::TraceEvent::PrefetchIssue { vpn: 4 });
+        assert_eq!(again.causal().request_count(), 1);
+        let reqs = again.causal().requests();
+        assert_eq!(reqs[0].events.len(), 1, "one observer, one record");
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::recover::{RecoverConfig, RecoveryStats};
 use crate::sched::{Calendar, SchedEvent};
 use crate::time::{Ns, PAGE_SIZE};
 use crate::timeline::Timeline;
-use crate::trace::{TraceEvent, TraceSink};
+use crate::trace::{ReqId, TraceEvent, TraceSink};
 
 /// One entry of a scatter/gather vector: `len` bytes at remote address
 /// `remote`, landing at `offset` within the local page buffer.
@@ -159,6 +159,12 @@ pub struct RdmaEndpoint {
     /// Crash injector + recovery bookkeeping; `None` keeps every data-path
     /// completion free of the event-counting branch's bookkeeping.
     recover: Option<RecoverState>,
+    /// Causal request ids of calendar-deferred completions, FIFO per queue
+    /// pair key `(class, write, node, core)`. `SchedEvent::RdmaCompletion`
+    /// carries no id (the calendar is not part of the digest contract but
+    /// its events are shared with baselines), so the id rides here: pushed
+    /// at issue time, popped at delivery. Side-band only — never digested.
+    pending_req: BTreeMap<(u8, bool, u8, u8), std::collections::VecDeque<Option<ReqId>>>,
 }
 
 impl RdmaEndpoint {
@@ -231,6 +237,7 @@ impl RdmaEndpoint {
             tenants: BTreeMap::new(),
             active: None,
             recover: None,
+            pending_req: BTreeMap::new(),
         }
     }
 
@@ -358,7 +365,14 @@ impl RdmaEndpoint {
         self.calendar = Some(cal);
     }
 
-    fn trace_complete(&self, core: usize, class: ServiceClass, write: bool, node: u8, done: Ns) {
+    fn trace_complete(
+        &mut self,
+        core: usize,
+        class: ServiceClass,
+        write: bool,
+        node: u8,
+        done: Ns,
+    ) {
         if !self.trace.is_enabled() {
             return;
         }
@@ -372,6 +386,12 @@ impl RdmaEndpoint {
                     core: core as u8,
                 },
             );
+            // Remember which request issued this verb so the deferred
+            // `RdmaComplete` re-attributes to it at delivery time.
+            self.pending_req
+                .entry((class.idx() as u8, write, node, core as u8))
+                .or_default()
+                .push_back(self.trace.current_request());
             return;
         }
         self.trace.emit(
@@ -389,7 +409,20 @@ impl RdmaEndpoint {
     /// Emits the deferred `RdmaComplete` trace event for a calendar-delivered
     /// [`SchedEvent::RdmaCompletion`] (the dispatch half of the pair created
     /// by [`set_calendar`](Self::set_calendar)).
-    pub fn deliver_completion(&self, t: Ns, class: ServiceClass, write: bool, node: u8, core: u8) {
+    pub fn deliver_completion(
+        &mut self,
+        t: Ns,
+        class: ServiceClass,
+        write: bool,
+        node: u8,
+        core: u8,
+    ) {
+        let req = self
+            .pending_req
+            .get_mut(&(class.idx() as u8, write, node, core))
+            .and_then(|q| q.pop_front())
+            .flatten();
+        let prev_req = self.trace.set_request(req);
         self.trace.emit(
             t,
             TraceEvent::RdmaComplete {
@@ -400,6 +433,7 @@ impl RdmaEndpoint {
                 done: t,
             },
         );
+        self.trace.set_request(prev_req);
     }
 
     /// Connects with Carbink-style erasure coding: pages are grouped into

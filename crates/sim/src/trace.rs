@@ -22,6 +22,13 @@ use crate::time::Ns;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Stable identity of one causal request (demand fault, prefetch, eviction),
+/// assigned at origin by [`TraceSink::begin_request`]. Ids are side-band
+/// metadata: they ride alongside the event stream to observers and are
+/// **never** folded into the digest, so arming causal tracing cannot change
+/// a recorded digest.
+pub type ReqId = u64;
+
 /// What kind of page fault a `FaultBegin` opens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -343,6 +350,16 @@ fn pack_verb(class: ServiceClass, write: bool, node: u8, core: u8) -> u64 {
 /// event has been folded into the digest and stored.
 pub trait TraceObserver {
     fn on_event(&mut self, t: Ns, ev: &TraceEvent);
+
+    /// Like [`TraceObserver::on_event`] but also carries the request id that
+    /// was current when the event was emitted (None for background /
+    /// unattributed events). The default forwards to `on_event`, so
+    /// observers that do not care about causality (auditor, profiler) need
+    /// not change.
+    fn on_event_req(&mut self, t: Ns, ev: &TraceEvent, req: Option<ReqId>) {
+        let _ = req;
+        self.on_event(t, ev);
+    }
 }
 
 const DEFAULT_RING_CAP: usize = 1 << 18;
@@ -357,6 +374,11 @@ struct TraceCore {
     /// Total emitted (≥ ring contents when the ring has wrapped).
     count: u64,
     observers: Vec<Rc<RefCell<dyn TraceObserver>>>,
+    /// Next request id to hand out (ids start at 1; 0 is never issued).
+    next_req: ReqId,
+    /// The request currently on the (virtual) CPU: events emitted while it
+    /// is set are attributed to it. Side-band only — never digested.
+    current_req: Option<ReqId>,
 }
 
 impl TraceCore {
@@ -432,6 +454,8 @@ impl TraceSink {
                 digest: 0xCBF2_9CE4_8422_2325,
                 count: 0,
                 observers: Vec::new(),
+                next_req: 1,
+                current_req: None,
             }))),
         }
     }
@@ -445,14 +469,39 @@ impl TraceSink {
     #[inline]
     pub fn emit(&self, t: Ns, ev: TraceEvent) {
         let Some(core) = &self.inner else { return };
-        let observers: Vec<_> = {
+        let (observers, req): (Vec<_>, Option<ReqId>) = {
             let mut c = core.borrow_mut();
             c.push(t, ev);
-            c.observers.clone()
+            (c.observers.clone(), c.current_req)
         };
         for obs in observers {
-            obs.borrow_mut().on_event(t, &ev);
+            obs.borrow_mut().on_event_req(t, &ev, req);
         }
+    }
+
+    /// Allocates a fresh request id, installs it as current, and returns the
+    /// *previous* register value so the caller can restore it when the
+    /// request's origin scope ends. Disabled sinks hand out nothing.
+    pub fn begin_request(&self) -> Option<ReqId> {
+        let Some(core) = &self.inner else { return None };
+        let mut c = core.borrow_mut();
+        let id = c.next_req;
+        c.next_req += 1;
+        c.current_req.replace(id)
+    }
+
+    /// Installs `req` as the current request, returning the previous value.
+    /// Use `set_request(None)` at dispatch boundaries so deferred calendar
+    /// work never inherits the interrupted request's identity.
+    pub fn set_request(&self, req: Option<ReqId>) -> Option<ReqId> {
+        let Some(core) = &self.inner else { return None };
+        let mut c = core.borrow_mut();
+        std::mem::replace(&mut c.current_req, req)
+    }
+
+    /// The request currently on the register, if any.
+    pub fn current_request(&self) -> Option<ReqId> {
+        self.inner.as_ref().and_then(|c| c.borrow().current_req)
     }
 
     /// Attaches an observer that sees every subsequent event.
@@ -554,6 +603,49 @@ mod tests {
         s2.emit(2, TraceEvent::FrameFree { frame: 7 });
         assert_eq!(s.count(), 2);
         assert_eq!(s.digest(), s2.digest());
+    }
+
+    #[test]
+    fn request_register_rides_side_band_and_never_digests() {
+        struct Tags {
+            seen: Vec<(Ns, Option<ReqId>)>,
+        }
+        impl TraceObserver for Tags {
+            fn on_event(&mut self, _t: Ns, _ev: &TraceEvent) {}
+            fn on_event_req(&mut self, t: Ns, _ev: &TraceEvent, req: Option<ReqId>) {
+                self.seen.push((t, req));
+            }
+        }
+        let bare = TraceSink::recording();
+        bare.emit(1, TraceEvent::FrameAlloc { frame: 0 });
+        bare.emit(2, TraceEvent::FrameFree { frame: 0 });
+
+        let s = TraceSink::recording();
+        let tags = Rc::new(RefCell::new(Tags { seen: Vec::new() }));
+        s.attach(tags.clone());
+        let prev = s.begin_request();
+        assert_eq!(prev, None);
+        assert_eq!(s.current_request(), Some(1));
+        s.emit(1, TraceEvent::FrameAlloc { frame: 0 });
+        let outer = s.set_request(None);
+        s.emit(2, TraceEvent::FrameFree { frame: 0 });
+        s.set_request(outer);
+        assert_eq!(
+            tags.borrow().seen,
+            vec![(1, Some(1)), (2, None)],
+            "ids ride the side band"
+        );
+        // Identical event stream, with and without request ids: same digest.
+        assert_eq!(s.digest(), bare.digest(), "request ids must not digest");
+    }
+
+    #[test]
+    fn disabled_sink_hands_out_no_requests() {
+        let s = TraceSink::disabled();
+        assert_eq!(s.begin_request(), None);
+        assert_eq!(s.current_request(), None);
+        assert_eq!(s.set_request(Some(9)), None);
+        assert_eq!(s.current_request(), None);
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! Causal tracing, enforced: arming the per-request tracer and exporting
+//! timelines must never perturb the simulation.
+//!
+//! Three contracts from the causal-tracing layer:
+//!
+//! 1. **Digest purity** — a run with the timeline armed emits the exact
+//!    event stream of an unarmed run (compared via the order-sensitive
+//!    trace digest), on every system at two cache ratios, and the tab01
+//!    table still lands on its pinned digests.
+//! 2. **Schema** — `timeline.json` is valid Chrome trace-event JSON (the
+//!    format Perfetto and `chrome://tracing` load), checked by an actual
+//!    parse, not a substring probe.
+//! 3. **Byte stability** — two fresh boots produce byte-identical
+//!    `timeline.json` / `serve_timeline.json` / `tail.md` / `tail.json`
+//!    and an identical `BENCH_sim.json` census (everything outside the
+//!    single `"wall_clock"` line).
+
+use dilos::apps::farmem::{FarMemory, SystemKind, SystemSpec};
+use dilos::sim::Observability;
+use dilos_bench::micro::MicroScale;
+use dilos_bench::serve::ServeScale;
+use dilos_bench::simbench::{census_json, census_serve, census_tab01};
+use dilos_bench::timeline::{chrome_trace_json, collect_timeline, write_timeline_artifacts};
+
+/// SplitMix64: the same deterministic driver as `tests/determinism.rs`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+const WS_PAGES: u64 = 192;
+
+fn drive(mem: &mut dyn FarMemory, seed: u64) {
+    let va = mem.alloc((WS_PAGES * 4096) as usize);
+    for p in 0..WS_PAGES {
+        mem.write_u64(0, va + p * 4096, seed ^ p);
+    }
+    let mut rng = Rng(seed);
+    for _ in 0..600 {
+        let p = rng.next() % WS_PAGES;
+        let addr = va + p * 4096 + (rng.next() % 500) * 8;
+        if rng.next().is_multiple_of(3) {
+            mem.write_u64(0, addr, rng.next());
+        } else {
+            let _ = mem.read_u64(0, addr);
+        }
+    }
+    for p in (0..WS_PAGES).step_by(3) {
+        let _ = mem.read_u64(0, va + p * 4096);
+    }
+}
+
+fn digest_of(kind: SystemKind, ratio: u32, obs: Observability) -> (u64, Observability) {
+    let spec = SystemSpec::for_working_set(kind, WS_PAGES * 4096, ratio).observed(obs.clone());
+    let mut mem = spec.boot();
+    drive(mem.as_mut(), 0xCA05A1);
+    (mem.trace_digest(), obs)
+}
+
+#[test]
+fn timeline_leaves_trace_digests_unchanged() {
+    for kind in [
+        SystemKind::DilosReadahead,
+        SystemKind::DilosTrend,
+        SystemKind::Fastswap,
+        SystemKind::Aifm,
+    ] {
+        for ratio in [13u32, 100] {
+            let (plain, _) = digest_of(kind, ratio, Observability::tracing());
+            let (armed, obs) = digest_of(kind, ratio, Observability::tracing().with_timeline());
+            assert_ne!(plain, 0, "{} @ {ratio}%: trace must record", kind.label());
+            assert_eq!(
+                plain,
+                armed,
+                "{} @ {ratio}%: the causal tracer perturbed the trace",
+                kind.label()
+            );
+            // AIFM is object-granular and assigns no page-request ids; the
+            // tracer must still be a pure observer there (checked above),
+            // it just has nothing to assemble.
+            if kind != SystemKind::Aifm {
+                assert!(
+                    obs.causal().request_count() > 0,
+                    "{} @ {ratio}%: armed run assembled no span trees",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance pin: tab01 digests with the timeline armed equal the
+/// digests the table has pinned since PR 1.
+#[test]
+fn tab01_digests_pinned_with_timeline_armed() {
+    let tracks = collect_timeline(MicroScale::default());
+    for (id, digest) in [
+        ("dilos-noprefetch", 0x16731fc2dfab62cb_u64),
+        ("dilos-readahead", 0x19ed7dbb10f8648a),
+        ("dilos-trend", 0x367878bd711bc5bf),
+    ] {
+        assert!(
+            tracks.iter().any(|t| t.label == id && t.digest == digest),
+            "{id}: pinned digest {digest:#018x} missing or changed: {:?}",
+            tracks
+                .iter()
+                .map(|t| (t.label.clone(), format!("{:#018x}", t.digest)))
+                .collect::<Vec<_>>()
+        );
+    }
+    let fastswap = tracks.iter().find(|t| t.label == "fastswap");
+    assert!(
+        fastswap.is_some_and(|t| t.digest != 0 && t.tracer.request_count() > 0),
+        "fastswap track missing from the armed run"
+    );
+}
+
+// --- a minimal JSON parser, enough to validate the trace-event schema ---
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.i,
+                self.s.get(self.i).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn literal(&mut self, lit: &str, val: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(val)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = self.s.get(self.i) {
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.s.get(self.i).ok_or("dangling escape")?;
+                    self.i += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'u' => {
+                            let hex = self.s.get(self.i..self.i + 4).ok_or("short \\u")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            char::from_u32(code).ok_or("bad \\u code point")?
+                        }
+                        c => c as char,
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while let Some(&b) = self.s.get(self.i) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => {
+                self.eat(b'{')?;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.eat(b'}')?;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => break,
+                    }
+                }
+                self.eat(b'}')?;
+                Ok(Json::Obj(fields))
+            }
+            b'[' => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.eat(b']')?;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek() {
+                        Some(b',') => self.eat(b',')?,
+                        _ => break,
+                    }
+                }
+                self.eat(b']')?;
+                Ok(Json::Arr(items))
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.i == self.s.len() {
+            Ok(v)
+        } else {
+            Err(format!("trailing garbage at byte {}", self.i))
+        }
+    }
+}
+
+#[test]
+fn timeline_json_is_valid_chrome_trace_event_json() {
+    let tracks = collect_timeline(MicroScale {
+        pages: 256,
+        ratio: 25,
+    });
+    let pairs: Vec<(String, &dilos::sim::CausalTracer)> = tracks
+        .iter()
+        .map(|t| (t.label.clone(), &t.tracer))
+        .collect();
+    let json = chrome_trace_json(&pairs);
+    let doc = Parser::new(&json)
+        .parse()
+        .expect("timeline.json must parse");
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(events.len() > 100, "suspiciously empty timeline");
+    let mut saw_meta = 0u32;
+    let mut saw_complete = 0u32;
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("event without ph: {ev:?}"));
+        assert!(
+            matches!(ev.get("pid"), Some(Json::Num(_))),
+            "event without numeric pid: {ev:?}"
+        );
+        assert!(
+            matches!(ev.get("name"), Some(Json::Str(_))),
+            "event without name: {ev:?}"
+        );
+        match ph {
+            "M" => {
+                saw_meta += 1;
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "unknown metadata record: {name}"
+                );
+            }
+            "X" => {
+                saw_complete += 1;
+                for key in ["ts", "dur", "tid"] {
+                    assert!(
+                        matches!(ev.get(key), Some(Json::Num(_))),
+                        "complete event without numeric {key}: {ev:?}"
+                    );
+                }
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(saw_meta >= 8, "process/thread metadata missing");
+    assert!(saw_complete > 100, "no spans exported");
+}
+
+#[test]
+fn timeline_artifacts_and_bench_census_are_byte_identical_across_boots() {
+    let micro = MicroScale {
+        pages: 256,
+        ratio: 25,
+    };
+    let serve = ServeScale {
+        victim_requests: 60,
+        victim_mean_ns: 50_000,
+        noisy_requests: 30,
+    };
+    let files = [
+        "timeline.json",
+        "serve_timeline.json",
+        "tail.md",
+        "tail.json",
+    ];
+    let run = |tag: &str| {
+        let dir = std::env::temp_dir().join(format!("dilos-causal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        write_timeline_artifacts(micro, serve, &dir.to_string_lossy()).expect("write artifacts");
+        let contents: Vec<String> = files
+            .iter()
+            .map(|f| std::fs::read_to_string(dir.join(f)).expect("read artifact"))
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    let a = run("a");
+    let b = run("b");
+    for (i, f) in files.iter().enumerate() {
+        assert_eq!(a[i], b[i], "{f} differs across fresh boots");
+        assert!(!a[i].is_empty(), "{f} is empty");
+    }
+    // The sim_bench census — the deterministic remainder of BENCH_sim.json
+    // once the single "wall_clock" line is stripped — must also be stable.
+    let ca = census_json(&[census_tab01(micro), census_serve(serve)]);
+    let cb = census_json(&[census_tab01(micro), census_serve(serve)]);
+    assert_eq!(ca, cb, "sim_bench census diverged across runs");
+    assert!(!ca.contains("wall_clock"), "census leaked host timing");
+}
