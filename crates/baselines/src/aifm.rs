@@ -176,7 +176,7 @@ impl Aifm {
         let profiler = obs.profiler().clone();
         rdma.observe(&obs);
         let cal = Calendar::new();
-        cal.set_metrics(metrics.clone());
+        cal.observe(&obs);
         rdma.set_calendar(cal.clone());
         Self {
             rdma,
@@ -244,7 +244,10 @@ impl Aifm {
 
     /// Delivers every calendar event due at or before `now`.
     fn drain_events(&mut self, now: Ns) {
-        while let Some((t, ev)) = self.cal.pop_due(now) {
+        while self.cal.has_due(now) {
+            let Some((t, ev)) = self.cal.pop_due(now) else {
+                break;
+            };
             self.dispatch(t, ev);
         }
         // Telemetry rides the registry's private calendar, never this one.

@@ -244,7 +244,7 @@ impl Fastswap {
         let profiler = obs.profiler().clone();
         rdma.observe(&obs);
         let cal = Calendar::new();
-        cal.set_metrics(metrics.clone());
+        cal.observe(&obs);
         rdma.set_calendar(cal.clone());
         let mut lru = LruChain::new();
         lru.observe(&obs);
@@ -315,7 +315,10 @@ impl Fastswap {
 
     /// Delivers every calendar event due at or before `now`.
     fn drain_events(&mut self, now: Ns) {
-        while let Some((t, ev)) = self.cal.pop_due(now) {
+        while self.cal.has_due(now) {
+            let Some((t, ev)) = self.cal.pop_due(now) else {
+                break;
+            };
             self.dispatch(t, ev);
         }
         // Telemetry rides the registry's private calendar so it cannot

@@ -6,7 +6,7 @@
 //! and, for frames filled by an in-flight fetch, the virtual time at which
 //! the payload actually arrives.
 
-use dilos_sim::{Ns, TraceEvent, TraceSink, PAGE_SIZE};
+use dilos_sim::{Ns, Observability, TraceEvent, TraceSink, PAGE_SIZE};
 
 /// Per-frame metadata.
 #[derive(Debug, Clone, Copy)]
@@ -72,9 +72,9 @@ impl FrameArena {
         }
     }
 
-    /// Routes frame alloc/free events into `sink`.
-    pub fn set_trace(&mut self, sink: TraceSink) {
-        self.trace = sink;
+    /// Routes frame alloc/free events into the bundle's trace sink.
+    pub fn observe(&mut self, obs: &Observability) {
+        self.trace = obs.trace().clone();
     }
 
     /// Total frames in the arena.

@@ -215,6 +215,9 @@ pub struct Dilos {
     /// landings, reclaim ticks, cleaner writebacks, verb completions, and
     /// node repairs are delivered from here at their true virtual times.
     cal: Calendar,
+    /// Reusable scratch for `drain_events` batches (taken/restored around
+    /// dispatch so handlers can re-enter the drain safely).
+    drain_buf: Vec<(Ns, SchedEvent)>,
     /// A reclaim episode is open (`ReclaimBegin` emitted, no `End` yet).
     /// Invariant: an open episode always has a tick pending, so draining
     /// the calendar always closes it.
@@ -318,13 +321,13 @@ impl Dilos {
         let mut lru = dilos_sim::LruChain::new();
         lru.observe(&obs);
         let mut frames = FrameArena::new(cfg.local_pages);
-        frames.set_trace(trace.clone());
+        frames.observe(&obs);
         let wm = Watermarks::for_cache(cfg.local_pages);
         // One calendar for the whole node: the endpoint posts its traced
         // completions onto it, and the node delivers them (plus landings,
         // reclaim ticks, and writebacks) whenever virtual time passes them.
         let cal = Calendar::new();
-        cal.set_metrics(metrics.clone());
+        cal.observe(&obs);
         rdma.bind(obs, cal.clone());
         Self {
             frames,
@@ -343,6 +346,7 @@ impl Dilos {
             tlb: vec![[TlbEntry::default(); TLB_WAYS]; cfg.cores],
             bg: dilos_sim::Timeline::new(),
             cal,
+            drain_buf: Vec::new(),
             episode_open: false,
             tick_pending: false,
             episode_freed: 0,
@@ -1442,9 +1446,22 @@ impl Dilos {
     // ------------------------------------------------------------------
 
     /// Delivers every calendar event due at or before `now`.
+    ///
+    /// The common case — nothing due — is a single borrow-free probe
+    /// ([`Calendar::has_due`]); when work is pending, whole same-instant
+    /// groups are drained per calendar borrow.
     fn drain_events(&mut self, now: Ns) {
-        while let Some((t, ev)) = self.cal.pop_due(now) {
-            self.dispatch(t, ev);
+        while self.cal.has_due(now) {
+            let mut buf = std::mem::take(&mut self.drain_buf);
+            let n = self.cal.drain_due(now, &mut buf);
+            for (t, ev) in buf.drain(..) {
+                self.dispatch(t, ev);
+            }
+            self.drain_buf = buf;
+            if n == 0 {
+                // The due bound was a tombstone; the drain skimmed it.
+                break;
+            }
         }
         // Telemetry rides its own calendar (see `SchedEvent::SampleTick`):
         // gauge snapshots are taken here, at the node's existing drain

@@ -234,6 +234,9 @@ impl MetricsRegistry {
     pub fn next_sample_due(&self, now: Ns) -> Option<Ns> {
         let core = self.inner.as_ref()?;
         let c = core.borrow();
+        if !c.sampler.has_due(now) {
+            return None;
+        }
         let (t, _) = c.sampler.pop_due(now)?;
         let next = t + c.interval;
         c.sampler.schedule(next, SchedEvent::SampleTick);

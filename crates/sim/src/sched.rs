@@ -15,22 +15,42 @@
 //! same instant always pop in the order they were scheduled — no hash-map
 //! iteration or allocator-address dependence can leak into the event order.
 //!
+//! Storage is a slot+generation arena: each scheduled event owns a slot
+//! holding its payload, the heap carries only `(at, seq, slot)` triples,
+//! and an [`EventId`] is a typed `(slot, generation)` handle. Cancellation
+//! is an O(1) tombstone on the slot (the heap entry is dropped lazily when
+//! it surfaces), and the generation counter makes a stale handle — one
+//! whose slot has since been delivered and reused — inert instead of
+//! cancelling an unrelated event (the ABA guard).
+//!
 //! Like [`TraceSink`](crate::trace::TraceSink), a `Calendar` is a cheap
 //! cloneable handle over shared state: the paging node, its RDMA endpoint,
-//! and any background daemon all hold clones of the same calendar.
+//! and any background daemon all hold clones of the same calendar. The
+//! earliest pending due time is mirrored into a `Cell` outside the
+//! `RefCell`, so the hot "anything due yet?" probe on the access path
+//! ([`Calendar::has_due`]) is a single load with no borrow traffic.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use crate::fabric::ServiceClass;
 use crate::metrics::MetricsRegistry;
+use crate::obs::Observability;
 use crate::time::Ns;
 
 /// Identifies a scheduled event so it can be cancelled before delivery.
+///
+/// A typed arena handle: `slot` names the event's arena cell and `gen` is
+/// the cell's generation at scheduling time. A handle outliving its event
+/// (delivered, cancelled, or the slot since reused) simply stops matching —
+/// it can never cancel somebody else's event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 /// A typed background occurrence scheduled for a future virtual time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,13 +85,13 @@ pub enum SchedEvent {
     SampleTick,
 }
 
-/// One calendar entry. Ordered by `(at, seq)` — earliest first, insertion
-/// order breaking ties.
-#[derive(Debug, Clone)]
+/// One heap entry. Ordered by `(at, seq)` — earliest first, insertion
+/// order breaking ties. The payload lives in the slot arena.
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     at: Ns,
     seq: u64,
-    ev: SchedEvent,
+    slot: u32,
 }
 
 impl PartialEq for Entry {
@@ -96,11 +116,27 @@ impl Ord for Entry {
     }
 }
 
+/// One arena cell: the event payload plus the liveness/reuse bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Bumped every time the slot is released; stale `EventId`s stop
+    /// matching (the ABA rule).
+    gen: u32,
+    /// False once cancelled (tombstone) — the heap entry is dropped when it
+    /// surfaces.
+    live: bool,
+    ev: SchedEvent,
+}
+
 #[derive(Debug, Default)]
 struct CalendarCore {
     heap: BinaryHeap<Entry>,
-    /// Lazily-cancelled entries, dropped when they surface.
-    cancelled: HashSet<u64>,
+    /// The slot arena; `free` holds released indices for LIFO reuse
+    /// (deterministic — reuse order depends only on the event history).
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Live (non-tombstoned) entries, i.e. what `len()` reports.
+    live: usize,
     next_seq: u64,
     /// Scheduler telemetry (`sched_scheduled` / `sched_delivered` /
     /// `sched_cancelled`). Disabled by default; pure observation either
@@ -109,22 +145,67 @@ struct CalendarCore {
 }
 
 impl CalendarCore {
-    /// Drops cancelled entries off the top of the heap.
+    /// Drops tombstoned entries off the top of the heap, releasing their
+    /// slots.
     fn skim(&mut self) {
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.remove(&top.seq) {
-                self.heap.pop();
-            } else {
+            if self.slots[top.slot as usize].live {
                 break;
             }
+            let e = self.heap.pop();
+            if let Some(e) = e {
+                self.release(e.slot);
+            }
         }
+    }
+
+    /// Returns `slot` to the free list, bumping its generation so any
+    /// outstanding handle to the old occupant goes stale.
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.live = false;
+        self.free.push(slot);
+    }
+
+    /// Pops the top entry (assumed live after a `skim`), releasing its slot
+    /// and returning the delivery.
+    fn take_top(&mut self) -> Option<(Ns, SchedEvent)> {
+        let e = self.heap.pop()?;
+        let ev = self.slots[e.slot as usize].ev;
+        self.release(e.slot);
+        self.live -= 1;
+        self.metrics.inc("sched_delivered", 0);
+        Some((e.at, ev))
+    }
+
+    /// The due time of the earliest entry still in the heap — possibly a
+    /// tombstone, so this is a lower bound on the true next due time (the
+    /// conservative direction for the `has_due` fast path).
+    fn heap_min(&self) -> Ns {
+        self.heap.peek().map_or(Ns::MAX, |e| e.at)
     }
 }
 
 /// A cloneable handle to a shared deterministic event calendar.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Calendar {
-    inner: Rc<RefCell<CalendarCore>>,
+    inner: Rc<CalendarShared>,
+}
+
+#[derive(Default)]
+struct CalendarShared {
+    core: RefCell<CalendarCore>,
+    /// Lower bound on the earliest pending due time (`Ns::MAX` when empty;
+    /// may be early when the top of the heap is a tombstone). Kept outside
+    /// the `RefCell` so [`Calendar::has_due`] is a single load.
+    next_at: Cell<Ns>,
+}
+
+impl Default for Calendar {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl std::fmt::Debug for Calendar {
@@ -136,81 +217,142 @@ impl std::fmt::Debug for Calendar {
 impl Calendar {
     /// An empty calendar.
     pub fn new() -> Self {
-        Self::default()
+        let c = Self {
+            inner: Rc::new(CalendarShared::default()),
+        };
+        c.inner.next_at.set(Ns::MAX);
+        c
     }
 
-    /// Registers a metrics handle for scheduler counters. The registry is
-    /// write-only from here: it cannot perturb event order, timing, or
-    /// sequence numbers.
-    pub fn set_metrics(&self, metrics: MetricsRegistry) {
-        self.inner.borrow_mut().metrics = metrics;
+    /// Routes scheduler counters into the bundle's metrics registry. The
+    /// registry is write-only from here: it cannot perturb event order,
+    /// timing, or sequence numbers.
+    pub fn observe(&self, obs: &Observability) {
+        self.inner.core.borrow_mut().metrics = obs.metrics().clone();
     }
 
     /// Schedules `ev` for delivery at virtual time `at`.
     ///
     /// Events due at the same instant are delivered in scheduling order.
     pub fn schedule(&self, at: Ns, ev: SchedEvent) -> EventId {
-        let mut c = self.inner.borrow_mut();
+        let mut c = self.inner.core.borrow_mut();
         let seq = c.next_seq;
         c.next_seq += 1;
-        c.heap.push(Entry { at, seq, ev });
+        let slot = match c.free.pop() {
+            Some(i) => {
+                let s = &mut c.slots[i as usize];
+                s.live = true;
+                s.ev = ev;
+                i
+            }
+            None => {
+                let i = c.slots.len() as u32;
+                c.slots.push(Slot {
+                    gen: 0,
+                    live: true,
+                    ev,
+                });
+                i
+            }
+        };
+        let gen = c.slots[slot as usize].gen;
+        c.heap.push(Entry { at, seq, slot });
+        c.live += 1;
         c.metrics.inc("sched_scheduled", 0);
-        EventId(seq)
+        if at < self.inner.next_at.get() {
+            self.inner.next_at.set(at);
+        }
+        EventId { slot, gen }
     }
 
-    /// Cancels a pending event. Returns false if it was already delivered
-    /// or cancelled.
+    /// Cancels a pending event in O(1): the slot is tombstoned and the heap
+    /// entry dropped lazily when it reaches the top. Returns false if the
+    /// event was already delivered or cancelled (a stale handle never
+    /// matches — generations guard slot reuse).
     pub fn cancel(&self, id: EventId) -> bool {
-        let mut c = self.inner.borrow_mut();
-        let live = c.heap.iter().any(|e| e.seq == id.0);
-        if live && c.cancelled.insert(id.0) {
-            c.skim();
-            c.metrics.inc("sched_cancelled", 0);
-            true
-        } else {
-            false
+        let mut c = self.inner.core.borrow_mut();
+        match c.slots.get_mut(id.slot as usize) {
+            Some(s) if s.gen == id.gen && s.live => {
+                s.live = false;
+                c.live -= 1;
+                c.metrics.inc("sched_cancelled", 0);
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// Whether any entry *might* be due at or before `now` — a single load,
+    /// no borrow. False is exact ("nothing is due"); true may be a
+    /// tombstone about to be skimmed, which the subsequent
+    /// [`Calendar::pop_due`] or [`Calendar::drain_due`] resolves.
+    #[inline]
+    pub fn has_due(&self, now: Ns) -> bool {
+        self.inner.next_at.get() <= now
     }
 
     /// The delivery time of the next pending event, if any.
     pub fn next_due(&self) -> Option<Ns> {
-        let mut c = self.inner.borrow_mut();
+        let mut c = self.inner.core.borrow_mut();
         c.skim();
-        c.heap.peek().map(|e| e.at)
+        let due = c.heap.peek().map(|e| e.at);
+        self.inner.next_at.set(due.unwrap_or(Ns::MAX));
+        due
     }
 
     /// Pops the next event due at or before `now`, with its delivery time.
     pub fn pop_due(&self, now: Ns) -> Option<(Ns, SchedEvent)> {
-        let mut c = self.inner.borrow_mut();
+        let mut c = self.inner.core.borrow_mut();
         c.skim();
-        if c.heap.peek().is_some_and(|e| e.at <= now) {
-            let popped = c.heap.pop().map(|e| (e.at, e.ev));
-            if popped.is_some() {
-                c.metrics.inc("sched_delivered", 0);
-            }
-            popped
+        let popped = if c.heap.peek().is_some_and(|e| e.at <= now) {
+            c.take_top()
         } else {
             None
+        };
+        self.inner.next_at.set(c.heap_min());
+        popped
+    }
+
+    /// Pops every event due at the *earliest* pending instant `t ≤ now`
+    /// into `out`, returning how many were delivered (0 when nothing is
+    /// due). One borrow amortizes the whole same-instant group.
+    ///
+    /// Only same-instant groups are batched: a delivery handler may
+    /// schedule follow-up events, and anything it schedules is at or after
+    /// the instant being delivered, so it sorts after the batch — exactly
+    /// where a one-at-a-time pop loop would put it. Draining a *range* of
+    /// instants in one batch would not have that property.
+    pub fn drain_due(&self, now: Ns, out: &mut Vec<(Ns, SchedEvent)>) -> usize {
+        let mut c = self.inner.core.borrow_mut();
+        c.skim();
+        let mut n = 0usize;
+        if let Some(first) = c.heap.peek().filter(|e| e.at <= now).map(|e| e.at) {
+            while c.heap.peek().is_some_and(|e| e.at == first) {
+                if let Some(d) = c.take_top() {
+                    out.push(d);
+                    n += 1;
+                }
+                c.skim();
+            }
         }
+        self.inner.next_at.set(c.heap_min());
+        n
     }
 
     /// Pops the next event regardless of its due time (used to quiesce the
     /// system at end of run, when no more foreground work will advance the
     /// clocks past pending deliveries).
     pub fn pop_next(&self) -> Option<(Ns, SchedEvent)> {
-        let mut c = self.inner.borrow_mut();
+        let mut c = self.inner.core.borrow_mut();
         c.skim();
-        let popped = c.heap.pop().map(|e| (e.at, e.ev));
-        if popped.is_some() {
-            c.metrics.inc("sched_delivered", 0);
-        }
+        let popped = c.take_top();
+        self.inner.next_at.set(c.heap_min());
         popped
     }
 
     /// Pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        let c = self.inner.borrow();
-        c.heap.len() - c.cancelled.len()
+        self.inner.core.borrow().live
     }
 
     /// True when nothing is scheduled.
@@ -284,6 +426,77 @@ mod tests {
     }
 
     #[test]
+    fn stale_handle_never_cancels_a_reused_slot() {
+        let c = Calendar::new();
+        let a = c.schedule(10, SchedEvent::ReclaimTick);
+        assert_eq!(c.pop_due(10), Some((10, SchedEvent::ReclaimTick)));
+        // The slot is recycled for an unrelated event; the old handle must
+        // be inert against it.
+        let b = c.schedule(20, SchedEvent::PrefetchLand { vpn: 9, token: 3 });
+        assert!(!c.cancel(a), "stale handle must not cancel the new tenant");
+        assert_eq!(c.len(), 1);
+        assert!(c.cancel(b));
+        assert!(c.pop_next().is_none());
+    }
+
+    #[test]
+    fn has_due_is_borrow_free_and_conservative() {
+        // `has_due` answers against a finite horizon; `Ns::MAX` itself is
+        // the "empty" sentinel, so probe just below it.
+        let horizon = u64::MAX - 1;
+        let c = Calendar::new();
+        assert!(!c.has_due(horizon), "empty calendar has nothing due");
+        let a = c.schedule(100, SchedEvent::ReclaimTick);
+        assert!(!c.has_due(99));
+        assert!(c.has_due(100));
+        // After a cancel the cached bound may still answer "maybe" — the
+        // pop resolves it to nothing and tightens the bound.
+        assert!(c.cancel(a));
+        assert!(c.pop_due(100).is_none());
+        assert!(!c.has_due(horizon));
+    }
+
+    #[test]
+    fn drain_due_delivers_same_instant_groups_in_order() {
+        let c = Calendar::new();
+        c.schedule(50, SchedEvent::PrefetchLand { vpn: 1, token: 0 });
+        c.schedule(50, SchedEvent::PrefetchLand { vpn: 2, token: 1 });
+        c.schedule(60, SchedEvent::ReclaimTick);
+        let mut out = Vec::new();
+        assert_eq!(c.drain_due(49, &mut out), 0);
+        assert_eq!(c.drain_due(100, &mut out), 2, "only the t=50 group");
+        assert_eq!(
+            out,
+            vec![
+                (50, SchedEvent::PrefetchLand { vpn: 1, token: 0 }),
+                (50, SchedEvent::PrefetchLand { vpn: 2, token: 1 }),
+            ]
+        );
+        out.clear();
+        assert_eq!(c.drain_due(100, &mut out), 1);
+        assert_eq!(out, vec![(60, SchedEvent::ReclaimTick)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn drain_due_skips_tombstones_inside_the_group() {
+        let c = Calendar::new();
+        c.schedule(10, SchedEvent::PrefetchLand { vpn: 1, token: 0 });
+        let b = c.schedule(10, SchedEvent::PrefetchLand { vpn: 2, token: 1 });
+        c.schedule(10, SchedEvent::PrefetchLand { vpn: 3, token: 2 });
+        assert!(c.cancel(b));
+        let mut out = Vec::new();
+        assert_eq!(c.drain_due(10, &mut out), 2);
+        assert_eq!(
+            out,
+            vec![
+                (10, SchedEvent::PrefetchLand { vpn: 1, token: 0 }),
+                (10, SchedEvent::PrefetchLand { vpn: 3, token: 2 }),
+            ]
+        );
+    }
+
+    #[test]
     fn clones_share_one_calendar() {
         let c = Calendar::new();
         let c2 = c.clone();
@@ -314,5 +527,26 @@ mod tests {
         };
         assert_eq!(run(), run());
         assert_eq!(run().len(), 3);
+    }
+
+    #[test]
+    fn heavy_cancel_churn_reuses_slots_safely() {
+        let c = Calendar::new();
+        let mut ids = Vec::new();
+        for round in 0..100u64 {
+            for i in 0..16u64 {
+                ids.push(c.schedule(round * 100 + i, SchedEvent::ReclaimTick));
+            }
+            // Cancel every other one, then deliver the round.
+            for id in ids.drain(..).step_by(2) {
+                assert!(c.cancel(id));
+            }
+            let mut n = 0;
+            while c.pop_due(round * 100 + 99).is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 8, "round {round}");
+            assert!(c.is_empty());
+        }
     }
 }
