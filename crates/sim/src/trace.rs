@@ -396,17 +396,48 @@ impl TraceCore {
             self.ring.push((t, ev));
         } else {
             self.ring[self.head] = (t, ev);
-            self.head = (self.head + 1) % self.cap;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
         }
     }
 }
 
-fn fold_u64(mut h: u64, w: u64) -> u64 {
-    for b in w.to_le_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01B3);
+const FNV_PRIME: u64 = 0x1000_0000_01B3;
+
+/// `FNV_POW[i]` = `FNV_PRIME`^`i` (mod 2^64).
+const FNV_POW: [u64; 9] = {
+    let mut p = [1u64; 9];
+    let mut i = 1;
+    while i < 9 {
+        p[i] = p[i - 1].wrapping_mul(FNV_PRIME);
+        i += 1;
     }
-    h
+    p
+};
+
+/// FNV-1a over the word's 8 little-endian bytes.
+///
+/// Folding a zero byte is exactly `h = h * PRIME` (xor with zero is the
+/// identity), so the word's zero *tail* collapses into a single multiply
+/// by `PRIME^k` — bit-identical to the byte-at-a-time loop, but most
+/// trace words are small and skip the majority of the eight iterations.
+/// (Only the tail can be skipped: interior zero bytes still reorder the
+/// xor/multiply interleaving and must be folded positionally.)
+#[inline]
+fn fold_u64(mut h: u64, w: u64) -> u64 {
+    let nz = if w == 0 {
+        0
+    } else {
+        8 - (w.leading_zeros() as usize) / 8
+    };
+    let bytes = w.to_le_bytes();
+    for &b in &bytes[..nz] {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h.wrapping_mul(FNV_POW[8 - nz])
 }
 
 /// Cloneable handle to a (possibly absent) trace recorder.
@@ -469,11 +500,16 @@ impl TraceSink {
     #[inline]
     pub fn emit(&self, t: Ns, ev: TraceEvent) {
         let Some(core) = &self.inner else { return };
-        let (observers, req): (Vec<_>, Option<ReqId>) = {
-            let mut c = core.borrow_mut();
-            c.push(t, ev);
-            (c.observers.clone(), c.current_req)
-        };
+        let mut c = core.borrow_mut();
+        c.push(t, ev);
+        if c.observers.is_empty() {
+            return;
+        }
+        // Observers run outside the borrow so they may re-enter the sink
+        // (e.g. read the digest); the clone is only paid when some are
+        // attached.
+        let (observers, req): (Vec<_>, Option<ReqId>) = (c.observers.clone(), c.current_req);
+        drop(c);
         for obs in observers {
             obs.borrow_mut().on_event_req(t, &ev, req);
         }
@@ -561,6 +597,44 @@ mod tests {
         b.emit(1, TraceEvent::FrameAlloc { frame: 1 });
         assert_ne!(a.digest(), b.digest());
         assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn zero_tail_fold_matches_the_byte_loop() {
+        // The shipped `fold_u64` skips a word's zero tail via one multiply
+        // by PRIME^k; it must agree bit-for-bit with the plain FNV-1a
+        // byte loop on every word shape (all-zero, interior zeros, full
+        // width, single bytes at each position).
+        fn reference(mut h: u64, w: u64) -> u64 {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut cases = vec![0u64, 1, 0xFF, u64::MAX, 0x0100, 0x00FF_00FF_00FF_00FF];
+        for shift in 0..8 {
+            cases.push(0xABu64 << (8 * shift));
+            cases.push((u64::MAX >> (8 * shift)).wrapping_sub(3));
+        }
+        // SplitMix64 stream for adversarial coverage.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            cases.push(z ^ (z >> 31));
+            // Bias toward small words (the common trace shape).
+            cases.push((z ^ (z >> 31)) & 0xFFFF);
+        }
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut r = h;
+        for &w in &cases {
+            h = fold_u64(h, w);
+            r = reference(r, w);
+            assert_eq!(h, r, "divergence on word {w:#x}");
+        }
     }
 
     #[test]
