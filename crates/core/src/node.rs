@@ -238,6 +238,8 @@ pub struct Dilos {
     local_pages_map: std::collections::HashMap<u64, Box<[u8; PAGE_SIZE]>>,
     local_brk: u64,
     prefetch_buf: Vec<u64>,
+    /// Scratch for guided-fetch segment vectors (reused across faults).
+    seg_buf: Vec<Segment>,
     /// Optional major-fault trace for diagnostics (VPNs, in order).
     fault_log: Option<Vec<u64>>,
     /// Optional eviction trace: `(vpn, last_access, eviction_time)`.
@@ -358,6 +360,7 @@ impl Dilos {
             local_brk: LOCAL_BASE,
             cfg,
             prefetch_buf: Vec::new(),
+            seg_buf: Vec::new(),
             fault_log: None,
             evict_log: None,
             trace,
@@ -1045,17 +1048,24 @@ impl Dilos {
 
         let done = match &vector {
             None => {
-                let mut page = [0u8; PAGE_SIZE];
+                // The verb fills every byte of the frame (absent remote
+                // ranges read as zeros), so no pre-zeroing is needed.
+                //
                 // A demand fault cannot degrade gracefully: the faulting
                 // load needs the bytes now, so data loss here is fatal by
                 // design (mirrors a real machine taking SIGBUS).
                 #[allow(clippy::expect_used)]
                 let done = self
                     .rdma
-                    .read(t_alloc, core, ServiceClass::Fault, remote, &mut page)
+                    .read(
+                        t_alloc,
+                        core,
+                        ServiceClass::Fault,
+                        remote,
+                        self.frames.bytes_mut(frame),
+                    )
                     // dilos-lint: allow(no-unwrap-in-hot-path, "demand fault with all replicas down is unrecoverable data loss")
                     .expect("demand fetch failed: address out of region or all replicas down");
-                self.frames.bytes_mut(frame).copy_from_slice(&page);
                 done
             }
             Some(v) if v.is_empty() => {
@@ -1066,26 +1076,33 @@ impl Dilos {
                 t_alloc + costs.zero_fill_ns
             }
             Some(v) => {
-                let segs: Vec<Segment> = v
-                    .iter()
-                    .map(|&(o, l)| Segment {
-                        remote: remote + o as u64,
-                        offset: o as usize,
-                        len: l as usize,
-                    })
-                    .collect();
-                let mut page = [0u8; PAGE_SIZE];
+                let mut segs = std::mem::take(&mut self.seg_buf);
+                segs.clear();
+                segs.extend(v.iter().map(|&(o, l)| Segment {
+                    remote: remote + o as u64,
+                    offset: o as usize,
+                    len: l as usize,
+                }));
+                // The vectored verb touches only its segments; the rest of
+                // the (possibly recycled) frame must read as dead zeros.
+                self.frames.bytes_mut(frame).fill(0);
                 // Fatal by design, as in the unguided demand-fetch arm.
                 #[allow(clippy::expect_used)]
                 let done = self
                     .rdma
-                    .read_v(t_alloc, core, ServiceClass::Fault, &segs, &mut page)
+                    .read_v(
+                        t_alloc,
+                        core,
+                        ServiceClass::Fault,
+                        &segs,
+                        self.frames.bytes_mut(frame),
+                    )
                     // dilos-lint: allow(no-unwrap-in-hot-path, "demand fault with all replicas down is unrecoverable data loss")
                     .expect("guided fetch failed: address out of region or all replicas down");
+                self.seg_buf = segs;
                 let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
                 self.stats.guided_fetches += 1;
                 self.stats.fetch_bytes_saved += (PAGE_SIZE - live) as u64;
-                self.frames.bytes_mut(frame).copy_from_slice(&page);
                 done
             }
         };
@@ -1166,11 +1183,13 @@ impl Dilos {
         let mut targets = std::mem::take(&mut self.prefetch_buf);
         targets.clear();
         self.prefetcher.on_fault(vpn, &mut targets);
-        // `targets` is moved back into `prefetch_buf` below, so iterate a
-        // draining copy of the values rather than borrowing across the call.
-        for &target in targets.clone().iter() {
-            sw += costs.prefetch_issue_ns;
-            self.prefetch_vpn(core, target, sw);
+        // `targets` is moved back into `prefetch_buf` below, so iterate by
+        // index rather than borrowing across the `prefetch_vpn` call.
+        for i in 0..targets.len() {
+            if let Some(&target) = targets.get(i) {
+                sw += costs.prefetch_issue_ns;
+                self.prefetch_vpn(core, target, sw);
+            }
         }
         self.prefetch_buf = targets;
         // App-aware guide (its subpage reads ride the guide queue and are
@@ -1221,17 +1240,14 @@ impl Dilos {
         let remote = (vpn - DDC_BASE_VPN) << 12;
         let fetched = match &vector {
             None => {
-                let mut page = [0u8; PAGE_SIZE];
-                match self
-                    .rdma
-                    .read(t, core, ServiceClass::Prefetch, remote, &mut page)
-                {
-                    Ok(done) => {
-                        self.frames.bytes_mut(frame).copy_from_slice(&page);
-                        Ok(done)
-                    }
-                    Err(e) => Err(e),
-                }
+                // Fills the whole frame; no pre-zeroing needed.
+                self.rdma.read(
+                    t,
+                    core,
+                    ServiceClass::Prefetch,
+                    remote,
+                    self.frames.bytes_mut(frame),
+                )
             }
             Some(v) if v.is_empty() => {
                 self.frames.bytes_mut(frame).fill(0);
@@ -1240,28 +1256,29 @@ impl Dilos {
                 Ok(t)
             }
             Some(v) => {
-                let segs: Vec<Segment> = v
-                    .iter()
-                    .map(|&(o, l)| Segment {
-                        remote: remote + o as u64,
-                        offset: o as usize,
-                        len: l as usize,
-                    })
-                    .collect();
-                let mut page = [0u8; PAGE_SIZE];
-                match self
-                    .rdma
-                    .read_v(t, core, ServiceClass::Prefetch, &segs, &mut page)
-                {
-                    Ok(done) => {
-                        let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
-                        self.stats.guided_fetches += 1;
-                        self.stats.fetch_bytes_saved += (PAGE_SIZE - live) as u64;
-                        self.frames.bytes_mut(frame).copy_from_slice(&page);
-                        Ok(done)
-                    }
-                    Err(e) => Err(e),
+                let mut segs = std::mem::take(&mut self.seg_buf);
+                segs.clear();
+                segs.extend(v.iter().map(|&(o, l)| Segment {
+                    remote: remote + o as u64,
+                    offset: o as usize,
+                    len: l as usize,
+                }));
+                // Only the segments are fetched; the rest must be zeros.
+                self.frames.bytes_mut(frame).fill(0);
+                let r = self.rdma.read_v(
+                    t,
+                    core,
+                    ServiceClass::Prefetch,
+                    &segs,
+                    self.frames.bytes_mut(frame),
+                );
+                self.seg_buf = segs;
+                if r.is_ok() {
+                    let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
+                    self.stats.guided_fetches += 1;
+                    self.stats.fetch_bytes_saved += (PAGE_SIZE - live) as u64;
                 }
+                r
             }
         };
         let ready_at = match fetched {

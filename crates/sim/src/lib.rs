@@ -66,6 +66,7 @@ pub mod recover;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod store;
 pub mod time;
 pub mod timeline;
 pub mod trace;
@@ -84,6 +85,7 @@ pub use recover::{RecoverConfig, RecoveryStats};
 pub use rng::{MixedSizes, SplitMix64, Zipf};
 pub use sched::{Calendar, EventId, SchedEvent};
 pub use stats::{BandwidthRecorder, LatencyHistogram};
+pub use store::{BTreeStore, FlatStore, MemStore};
 pub use time::{CoreClock, Ns, PAGE_SIZE};
 pub use timeline::Timeline;
 pub use trace::{FaultKind, FaultPhase, PteClass, ReqId, TraceEvent, TraceObserver, TraceSink};

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use crate::metrics::MetricsRegistry;
 use crate::obs::Observability;
 use crate::recover::DurableState;
+use crate::store::{BTreeStore, FlatStore, MemStore};
 use crate::time::{Ns, PAGE_SIZE};
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -51,12 +52,15 @@ impl std::fmt::Display for MemNodeError {
 impl std::error::Error for MemNodeError {}
 
 /// The memory node's registered memory pool.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryNode {
-    // Ordered maps: repair/enumeration paths walk these, and walk order
-    // feeds the trace — hash order must never leak into it.
-    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
-    regions: BTreeMap<u32, Region>,
+    // The store contract guarantees ascending page enumeration: repair
+    // walks it, and walk order feeds the trace — hash order must never
+    // leak into it.
+    pages: Box<dyn MemStore>,
+    /// Region table indexed by protection key (keys are handed out
+    /// sequentially, so the table is dense).
+    regions: Vec<Option<Region>>,
     next_key: u32,
     huge_pages: bool,
     trace: TraceSink,
@@ -71,10 +75,33 @@ pub struct MemoryNode {
     durable: Option<DurableState>,
 }
 
+impl Default for MemoryNode {
+    fn default() -> Self {
+        Self {
+            pages: Box::new(FlatStore::new()),
+            regions: Vec::new(),
+            next_key: 0,
+            huge_pages: false,
+            trace: TraceSink::default(),
+            metrics: MetricsRegistry::default(),
+            access_time: Cell::new(0),
+            node_id: 0,
+            durable: None,
+        }
+    }
+}
+
 impl MemoryNode {
     /// Creates an empty memory node.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Swaps the page store for the [`BTreeStore`] reference backend,
+    /// migrating any resident pages. Differential tests use this to prove
+    /// the flat backend is observationally identical to the original map.
+    pub fn use_reference_store(&mut self) {
+        self.pages = Box::new(BTreeStore::from(self.pages.snapshot_all()));
     }
 
     /// Enables 2 MB huge-page backing for registered regions.
@@ -115,12 +142,24 @@ impl MemoryNode {
     pub fn register_region(&mut self, base: u64, len: u64) -> RegionHandle {
         let key = self.next_key;
         self.next_key += 1;
-        self.regions.insert(key, Region { base, len });
+        self.set_region(key, Region { base, len });
         RegionHandle(key)
     }
 
+    fn set_region(&mut self, key: u32, region: Region) {
+        let idx = key as usize;
+        if idx >= self.regions.len() {
+            self.regions.resize_with(idx + 1, || None);
+        }
+        self.regions[idx] = Some(region);
+    }
+
     fn check(&self, key: RegionHandle, addr: u64, len: usize) -> Result<(), MemNodeError> {
-        let region = self.regions.get(&key.0).ok_or(MemNodeError::BadKey)?;
+        let region = self
+            .regions
+            .get(key.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(MemNodeError::BadKey)?;
         let end = addr
             .checked_add(len as u64)
             .ok_or(MemNodeError::OutOfBounds)?;
@@ -149,10 +188,7 @@ impl MemoryNode {
             let page = a / PAGE_SIZE as u64;
             let in_page = (a % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(buf.len() - off);
-            match self.pages.get(&page) {
-                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
-                None => buf[off..off + n].fill(0),
-            }
+            self.pages.read_into(page, in_page, &mut buf[off..off + n]);
             off += n;
         }
         Ok(())
@@ -203,11 +239,7 @@ impl MemoryNode {
             let page = a / PAGE_SIZE as u64;
             let in_page = (a % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(buf.len() - off);
-            let p = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-            p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]);
+            self.pages.write_at(page, in_page, &buf[off..off + n]);
             off += n;
         }
     }
@@ -224,19 +256,19 @@ impl MemoryNode {
     /// resynchronize. The backing map is ordered, so the repair order is
     /// deterministic by construction.
     pub fn resident_page_numbers(&self) -> Vec<u64> {
-        self.pages.keys().copied().collect()
+        self.pages.page_numbers()
     }
 
     /// Control-path snapshot of one materialized page (no rkey check, no
     /// trace) — `None` if the page was never written.
     pub fn page_snapshot(&self, page: u64) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&page).map(|b| &**b)
+        self.pages.snapshot(page)
     }
 
     /// Control-path page install (no rkey check, no trace): resync writes
     /// reconstructed content directly into a repaired node's pool.
     pub fn install_page(&mut self, page: u64, data: &[u8; PAGE_SIZE]) {
-        self.pages.insert(page, Box::new(*data));
+        self.pages.install(page, data);
     }
 
     // ------------------------------------------------------------------
@@ -256,7 +288,7 @@ impl MemoryNode {
     /// pre-existing pages), so recovery never depends on pre-arm history.
     pub fn arm_persistence(&mut self, checkpoint_every: u64) {
         let mut d = DurableState::new(checkpoint_every);
-        d.seal(&self.pages, self.region_table());
+        d.seal(self.pages.snapshot_all(), self.region_table());
         self.durable = Some(d);
     }
 
@@ -281,7 +313,8 @@ impl MemoryNode {
     fn region_table(&self) -> BTreeMap<u32, (u64, u64)> {
         self.regions
             .iter()
-            .map(|(&k, r)| (k, (r.base, r.len)))
+            .enumerate()
+            .filter_map(|(k, r)| r.as_ref().map(|r| (k as u32, (r.base, r.len))))
             .collect()
     }
 
@@ -297,8 +330,13 @@ impl MemoryNode {
     /// [`TraceEvent::Checkpoint`]. No-op when persistence is off.
     pub fn checkpoint_now(&mut self, t: Ns) {
         let regions = self.region_table();
+        let pages = if self.durable.is_some() {
+            self.pages.snapshot_all()
+        } else {
+            BTreeMap::new()
+        };
         if let Some(d) = self.durable.as_mut() {
-            let upto = d.seal(&self.pages, regions);
+            let upto = d.seal(pages, regions);
             self.trace.emit(
                 t,
                 TraceEvent::Checkpoint {
@@ -320,12 +358,14 @@ impl MemoryNode {
         let Some(mut d) = self.durable.take() else {
             return 0;
         };
-        self.pages = d.checkpoint_pages.clone();
-        self.regions = d
-            .checkpoint_regions
-            .iter()
-            .map(|(&k, &(base, len))| (k, Region { base, len }))
-            .collect();
+        self.pages.clear();
+        for (&page, data) in &d.checkpoint_pages {
+            self.pages.install(page, data);
+        }
+        self.regions.clear();
+        for (&k, &(base, len)) in &d.checkpoint_regions {
+            self.set_region(k, Region { base, len });
+        }
         let log = std::mem::take(&mut d.log);
         let replayed = log.len() as u64;
         for rec in &log {

@@ -834,6 +834,14 @@ impl RdmaEndpoint {
         &self.nodes[0].node
     }
 
+    /// Swaps every node's page store for the `BTreeStore` reference backend
+    /// (differential tests only — see [`MemoryNode::use_reference_store`]).
+    pub fn use_reference_stores(&mut self) {
+        for n in &mut self.nodes {
+            n.node.use_reference_store();
+        }
+    }
+
     /// Per-class op counters.
     pub fn ops(&self, class: ServiceClass) -> OpCounts {
         self.ops[class.idx()]

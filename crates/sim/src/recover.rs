@@ -159,10 +159,10 @@ impl DurableState {
     /// the sequence number the checkpoint covers up to.
     pub fn seal(
         &mut self,
-        pages: &BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+        pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
         regions: BTreeMap<u32, (u64, u64)>,
     ) -> u64 {
-        self.checkpoint_pages = pages.clone();
+        self.checkpoint_pages = pages;
         self.checkpoint_regions = regions;
         self.checkpoint_upto = self.next_seq - 1;
         self.log.clear();
@@ -195,8 +195,7 @@ mod tests {
         d.append(0, &[1]);
         d.append(8, &[2]);
         assert!(d.should_checkpoint());
-        let pages = BTreeMap::new();
-        let upto = d.seal(&pages, BTreeMap::new());
+        let upto = d.seal(BTreeMap::new(), BTreeMap::new());
         assert_eq!(upto, 2);
         assert_eq!(d.checkpoint_upto, 2);
         assert_eq!(d.log_depth(), 0);
