@@ -14,7 +14,6 @@
 //! DiLOS removes (swap-cache management, minor-fault storms, in-handler
 //! reclaim, TLB shootdowns on unmap) is present here and absent there.
 
-use std::collections::BTreeMap;
 
 use dilos_sim::{
     Calendar, CoreClock, FaultKind, LruChain, MetricsRegistry, Ns, Observability, RdmaEndpoint,
@@ -191,8 +190,15 @@ enum PageState {
 pub struct Fastswap {
     cfg: FastswapConfig,
     rdma: RdmaEndpoint,
-    state: BTreeMap<u64, PageState>,
+    /// Per-page swap state, dense by VPN offset from `BASE_VA` (the heap
+    /// is brk-allocated, so offsets are small and contiguous). `None` means
+    /// never touched / unmapped. Grown lazily to the high-water VPN.
+    state: Vec<Option<PageState>>,
     frames: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Per-frame upper bound on the non-zero prefix (bytes past it are
+    /// zero): fills set it, stores raise it, and the write-back hands it to
+    /// the store so mostly-zero pages skip the trailing-zero scan.
+    frame_live: Vec<u32>,
     free: Vec<u32>,
     /// Frames whose previous writeback completes at `Ns`.
     pending_free: Vec<(u32, Ns)>,
@@ -254,10 +260,11 @@ impl Fastswap {
             metrics,
             profiler,
             cal,
-            state: BTreeMap::new(),
+            state: Vec::new(),
             frames: (0..cfg.local_pages)
                 .map(|_| Box::new([0u8; PAGE_SIZE]))
                 .collect(),
+            frame_live: vec![0; cfg.local_pages],
             free: (0..cfg.local_pages as u32).rev().collect(),
             pending_free: Vec::new(),
             lru,
@@ -411,7 +418,7 @@ impl Fastswap {
         let start = va >> 12;
         let end = (va + len as u64 + PAGE_SIZE as u64 - 1) >> 12;
         for vpn in start..end {
-            if let Some(state) = self.state.remove(&vpn) {
+            if let Some(state) = self.st_clear(vpn) {
                 match state {
                     PageState::Mapped { frame, .. } => {
                         self.trace.emit(t, TraceEvent::LruRemove { vpn });
@@ -469,6 +476,8 @@ impl Fastswap {
             let n = (PAGE_SIZE - off).min(len - done);
             let frame = self.touch(core, vpn, true);
             self.frames[frame as usize][off..off + n].copy_from_slice(&buf[done..done + n]);
+            let live = &mut self.frame_live[frame as usize];
+            *live = (*live).max((off + n) as u32);
             self.charge_copy(core, n);
             done += n;
         }
@@ -491,15 +500,41 @@ impl Fastswap {
         self.clocks[core].advance(ns);
     }
 
+    /// Dense index of `vpn` in the swap-state table.
+    #[inline]
+    fn st_idx(vpn: u64) -> usize {
+        (vpn - (BASE_VA >> 12)) as usize
+    }
+
+    #[inline]
+    fn st_get(&self, vpn: u64) -> Option<PageState> {
+        self.state.get(Self::st_idx(vpn)).copied().flatten()
+    }
+
+    #[inline]
+    fn st_set(&mut self, vpn: u64, st: PageState) {
+        let i = Self::st_idx(vpn);
+        if i >= self.state.len() {
+            self.state.resize(i + 1, None);
+        }
+        self.state[i] = Some(st);
+    }
+
+    /// Clears and returns the page's state (unmap).
+    #[inline]
+    fn st_clear(&mut self, vpn: u64) -> Option<PageState> {
+        self.state.get_mut(Self::st_idx(vpn)).and_then(Option::take)
+    }
+
     fn touch(&mut self, core: usize, vpn: u64, is_write: bool) -> u32 {
         assert!(
             vpn >= BASE_VA >> 12 && ((vpn - (BASE_VA >> 12)) << 12) < self.cfg.remote_bytes,
             "segmentation fault at {:#x}",
             vpn << 12
         );
-        match self.state.get(&vpn).copied() {
+        match self.st_get(vpn) {
             Some(PageState::Mapped { frame, dirty }) => {
-                self.state.insert(
+                self.st_set(
                     vpn,
                     PageState::Mapped {
                         frame,
@@ -568,7 +603,9 @@ impl Fastswap {
         );
         let t = now + costs.exception_ns + costs.page_alloc_ns;
         let (frame, t_frame, _) = self.get_frame(core, t);
-        self.frames[frame as usize].fill(0);
+        let live = self.frame_live[frame as usize] as usize;
+        self.frames[frame as usize][..live].fill(0);
+        self.frame_live[frame as usize] = 0;
         let t_end = t_frame + costs.map_ns;
         self.clocks[core].wait_until(t_end);
         self.stats.zero_fills += 1;
@@ -602,18 +639,19 @@ impl Fastswap {
         t = t_frame;
         // Demand fetch (synchronous).
         let remote = (vpn - (BASE_VA >> 12)) << 12;
-        let mut page = [0u8; PAGE_SIZE];
-        let done = self
+        // The verb fills the whole frame (dead bytes read as zeros), so it
+        // can land directly — no bounce buffer, no extra 4 KiB copy.
+        let (done, live) = self
             .rdma
-            .read(
+            .read_live(
                 t + costs.kernel_io_ns,
                 core,
                 ServiceClass::Fault,
                 remote,
-                &mut page,
+                &mut self.frames[frame as usize][..],
             )
             .expect("swap-in inside swap device");
-        self.frames[frame as usize].copy_from_slice(&page);
+        self.frame_live[frame as usize] = live as u32;
         // Readahead the rest of the cluster into the swap cache
         // (asynchronous; pages cost a minor fault on first touch).
         self.readahead(core, vpn, done);
@@ -652,7 +690,7 @@ impl Fastswap {
             if ((target - (BASE_VA >> 12)) << 12) >= self.cfg.remote_bytes {
                 break;
             }
-            if !matches!(self.state.get(&target), Some(PageState::Swapped)) {
+            if !matches!(self.st_get(target), Some(PageState::Swapped)) {
                 continue;
             }
             // Readahead never blocks the fault path: claim a frame without
@@ -662,24 +700,23 @@ impl Fastswap {
                 break;
             };
             let remote = (target - (BASE_VA >> 12)) << 12;
-            let mut page = [0u8; PAGE_SIZE];
             // Each readahead page is its own causal request, issued at
             // origin; the faulting request resumes once it lands.
             let prev_req = self.trace.begin_request();
             self.trace
                 .emit(t.max(avail), TraceEvent::PrefetchIssue { vpn: target });
-            let done = self
+            let (done, live) = self
                 .rdma
-                .read(
+                .read_live(
                     t.max(avail),
                     core,
                     ServiceClass::Prefetch,
                     remote,
-                    &mut page,
+                    &mut self.frames[frame as usize][..],
                 )
                 .expect("readahead inside swap device");
-            self.frames[frame as usize].copy_from_slice(&page);
-            self.state.insert(
+            self.frame_live[frame as usize] = live as u32;
+            self.st_set(
                 target,
                 PageState::Cached {
                     frame,
@@ -738,7 +775,7 @@ impl Fastswap {
     }
 
     fn map(&mut self, t: Ns, vpn: u64, frame: u32, is_write: bool) {
-        self.state.insert(
+        self.st_set(
             vpn,
             PageState::Mapped {
                 frame,
@@ -830,7 +867,7 @@ impl Fastswap {
         let mut victim: Option<(u64, PageState)> = None;
         for vpn in self.lru.iter_cold().take(64) {
             spent += costs.reclaim_scan_ns;
-            match self.state.get(&vpn).copied() {
+            match self.st_get(vpn) {
                 Some(st @ PageState::Cached { ready_at, .. }) if ready_at <= t + spent => {
                     victim = Some((vpn, st));
                     break;
@@ -860,7 +897,7 @@ impl Fastswap {
                 let at = if offloaded { t } else { t + spent };
                 self.trace.emit(at, TraceEvent::PrefetchCancel { vpn });
                 self.trace.emit(at, TraceEvent::Evict { vpn, dirty: false });
-                self.state.insert(vpn, PageState::Swapped);
+                self.st_set(vpn, PageState::Swapped);
                 self.trace.emit(at, TraceEvent::LruRemove { vpn });
                 self.lru.remove(vpn);
                 self.trace.emit(at, TraceEvent::FrameFree { frame });
@@ -873,10 +910,16 @@ impl Fastswap {
                 let mut available_at = if offloaded { t } else { t + spent };
                 if dirty {
                     let remote = (vpn - (BASE_VA >> 12)) << 12;
-                    let frame_copy = *self.frames[frame as usize];
                     let done = self
                         .rdma
-                        .write(t + spent, 0, ServiceClass::Cleaner, remote, &frame_copy)
+                        .write_live(
+                            t + spent,
+                            0,
+                            ServiceClass::Cleaner,
+                            remote,
+                            &self.frames[frame as usize][..],
+                            self.frame_live[frame as usize] as usize,
+                        )
                         .expect("swap-out inside swap device");
                     self.stats.writebacks += 1;
                     if offloaded {
@@ -889,7 +932,7 @@ impl Fastswap {
                 }
                 self.trace
                     .emit(available_at, TraceEvent::Evict { vpn, dirty });
-                self.state.insert(vpn, PageState::Swapped);
+                self.st_set(vpn, PageState::Swapped);
                 self.trace.emit(available_at, TraceEvent::LruRemove { vpn });
                 self.lru.remove(vpn);
                 self.trace

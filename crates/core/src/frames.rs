@@ -39,6 +39,11 @@ pub struct FrameArena {
     data: Vec<u8>,
     meta: Vec<FrameMeta>,
     free: Vec<FreeFrame>,
+    /// Per-frame live extent: an upper bound on the frame's non-zero prefix
+    /// (every byte at offset `>= live[f]` is zero). Fill paths set it, app
+    /// writes raise it, and eviction hands it to the store so write-back
+    /// never has to re-scan a mostly-zero page for its content length.
+    live: Vec<u32>,
     trace: TraceSink,
 }
 
@@ -68,8 +73,34 @@ impl FrameArena {
                     available_at: 0,
                 })
                 .collect(),
+            live: vec![0; frames],
             trace: TraceSink::disabled(),
         }
+    }
+
+    /// Upper bound on the frame's non-zero prefix; bytes past it are zero.
+    pub fn live(&self, frame: u32) -> usize {
+        self.live[frame as usize] as usize
+    }
+
+    /// Declares the frame's non-zero content to end before `n` (a fill path
+    /// that wrote the whole frame knows exactly how much of it is non-zero).
+    pub fn set_live(&mut self, frame: u32, n: usize) {
+        self.live[frame as usize] = n.min(PAGE_SIZE) as u32;
+    }
+
+    /// Raises the live extent to cover a write ending at `end`.
+    pub fn note_write(&mut self, frame: u32, end: usize) {
+        let e = &mut self.live[frame as usize];
+        *e = (*e).max(end.min(PAGE_SIZE) as u32);
+    }
+
+    /// Zeroes the frame, touching only its live prefix.
+    pub fn zero(&mut self, frame: u32) {
+        let o = frame as usize * PAGE_SIZE;
+        let n = self.live[frame as usize] as usize;
+        self.data[o..o + n].fill(0);
+        self.live[frame as usize] = 0;
     }
 
     /// Routes frame alloc/free events into the bundle's trace sink.
@@ -133,7 +164,9 @@ impl FrameArena {
         &self.data[o..o + PAGE_SIZE]
     }
 
-    /// Mutable backing bytes.
+    /// Mutable backing bytes. Callers that write non-zero content must pair
+    /// the write with [`note_write`](Self::note_write)/[`set_live`](Self::set_live)
+    /// to keep the live extent an upper bound.
     pub fn bytes_mut(&mut self, frame: u32) -> &mut [u8] {
         let o = frame as usize * PAGE_SIZE;
         &mut self.data[o..o + PAGE_SIZE]

@@ -794,6 +794,7 @@ impl Dilos {
             let n = (PAGE_SIZE - off).min(len - done);
             let frame = self.touch(core, vpn, true);
             self.frames.bytes_mut(frame)[off..off + n].copy_from_slice(&buf[done..done + n]);
+            self.frames.note_write(frame, off + n);
             self.charge_copy(core, n);
             done += n;
         }
@@ -999,7 +1000,7 @@ impl Dilos {
         );
         let t = now + self.cfg.sim.hw_exception_ns + self.cfg.costs.pte_check_ns;
         let (frame, t_alloc, reclaim_ns) = self.alloc_frame(core, t);
-        self.frames.bytes_mut(frame).fill(0);
+        self.frames.zero(frame);
         let t_done = t_alloc + self.cfg.costs.zero_fill_ns + self.cfg.costs.map_ns + reclaim_ns;
         self.clocks[core].wait_until(t_done);
         self.stats.zero_fills += 1;
@@ -1055,9 +1056,9 @@ impl Dilos {
                 // load needs the bytes now, so data loss here is fatal by
                 // design (mirrors a real machine taking SIGBUS).
                 #[allow(clippy::expect_used)]
-                let done = self
+                let (done, live) = self
                     .rdma
-                    .read(
+                    .read_live(
                         t_alloc,
                         core,
                         ServiceClass::Fault,
@@ -1066,11 +1067,12 @@ impl Dilos {
                     )
                     // dilos-lint: allow(no-unwrap-in-hot-path, "demand fault with all replicas down is unrecoverable data loss")
                     .expect("demand fetch failed: address out of region or all replicas down");
+                self.frames.set_live(frame, live);
                 done
             }
             Some(v) if v.is_empty() => {
                 // Guided fetch of a fully-dead page: nothing on the wire.
-                self.frames.bytes_mut(frame).fill(0);
+                self.frames.zero(frame);
                 self.stats.guided_fetches += 1;
                 self.stats.fetch_bytes_saved += PAGE_SIZE as u64;
                 t_alloc + costs.zero_fill_ns
@@ -1085,7 +1087,7 @@ impl Dilos {
                 }));
                 // The vectored verb touches only its segments; the rest of
                 // the (possibly recycled) frame must read as dead zeros.
-                self.frames.bytes_mut(frame).fill(0);
+                self.frames.zero(frame);
                 // Fatal by design, as in the unguided demand-fetch arm.
                 #[allow(clippy::expect_used)]
                 let done = self
@@ -1099,6 +1101,8 @@ impl Dilos {
                     )
                     // dilos-lint: allow(no-unwrap-in-hot-path, "demand fault with all replicas down is unrecoverable data loss")
                     .expect("guided fetch failed: address out of region or all replicas down");
+                self.frames
+                    .set_live(frame, v.iter().map(|&(o, l)| o as usize + l as usize).max().unwrap_or(0));
                 self.seg_buf = segs;
                 let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
                 self.stats.guided_fetches += 1;
@@ -1241,16 +1245,21 @@ impl Dilos {
         let fetched = match &vector {
             None => {
                 // Fills the whole frame; no pre-zeroing needed.
-                self.rdma.read(
-                    t,
-                    core,
-                    ServiceClass::Prefetch,
-                    remote,
-                    self.frames.bytes_mut(frame),
-                )
+                self.rdma
+                    .read_live(
+                        t,
+                        core,
+                        ServiceClass::Prefetch,
+                        remote,
+                        self.frames.bytes_mut(frame),
+                    )
+                    .map(|(done, live)| {
+                        self.frames.set_live(frame, live);
+                        done
+                    })
             }
             Some(v) if v.is_empty() => {
-                self.frames.bytes_mut(frame).fill(0);
+                self.frames.zero(frame);
                 self.stats.guided_fetches += 1;
                 self.stats.fetch_bytes_saved += PAGE_SIZE as u64;
                 Ok(t)
@@ -1264,7 +1273,7 @@ impl Dilos {
                     len: l as usize,
                 }));
                 // Only the segments are fetched; the rest must be zeros.
-                self.frames.bytes_mut(frame).fill(0);
+                self.frames.zero(frame);
                 let r = self.rdma.read_v(
                     t,
                     core,
@@ -1272,6 +1281,10 @@ impl Dilos {
                     &segs,
                     self.frames.bytes_mut(frame),
                 );
+                if r.is_ok() {
+                    self.frames
+                        .set_live(frame, v.iter().map(|&(o, l)| o as usize + l as usize).max().unwrap_or(0));
+                }
                 self.seg_buf = segs;
                 if r.is_ok() {
                     let live: usize = v.iter().map(|&(_, l)| l as usize).sum();
@@ -1288,7 +1301,9 @@ impl Dilos {
                 // replicas of this page down) drop the attempt, return the
                 // frame, and restore the action vector so the demand path
                 // can retry — and surface the failure — if the page is ever
-                // actually touched.
+                // actually touched. The failed verb may have landed partial
+                // segment payloads, so the frame's content bound is unknown.
+                self.frames.set_live(frame, PAGE_SIZE);
                 self.frames.push_free(frame, t);
                 if let Some(v) = vector {
                     let idx = self.actions.insert(v);
@@ -1709,7 +1724,14 @@ impl Dilos {
                     #[allow(clippy::expect_used)]
                     let done = self
                         .rdma
-                        .write(t, 0, class, remote, self.frames.bytes(frame))
+                        .write_live(
+                            t,
+                            0,
+                            class,
+                            remote,
+                            self.frames.bytes(frame),
+                            self.frames.live(frame),
+                        )
                         // dilos-lint: allow(no-unwrap-in-hot-path, "losing a dirty writeback is silent data corruption")
                         .expect("writeback failed: all replicas of the page are down");
                     available_at = done;

@@ -138,6 +138,10 @@ pub struct PageTable {
     /// software TLB uses it for cheap invalidation.
     generation: u64,
     resident: usize,
+    /// Walk cache: `(vpn >> 9, leaf table index)` of the last walk. Interior
+    /// tables are never freed or moved once created, so a cached entry can
+    /// never go stale — it only short-circuits the three upper levels.
+    leaf_cache: std::cell::Cell<(u64, u32)>,
 }
 
 impl Default for PageTable {
@@ -153,6 +157,7 @@ impl PageTable {
             tables: vec![Table::new()],
             generation: 0,
             resident: 0,
+            leaf_cache: std::cell::Cell::new((u64::MAX, 0)),
         }
     }
 
@@ -172,6 +177,11 @@ impl PageTable {
     }
 
     fn walk_index(&self, vpn: u64) -> Option<(usize, usize)> {
+        let key = vpn >> 9;
+        let (ck, ct) = self.leaf_cache.get();
+        if ck == key {
+            return Some((ct as usize, (vpn & 0x1FF) as usize));
+        }
         let mut ti = 0usize;
         for level in 0..LEVELS - 1 {
             let e = self.tables[ti].entries[Self::level_index(vpn, level)];
@@ -180,10 +190,16 @@ impl PageTable {
             }
             ti = (e >> PAYLOAD_SHIFT) as usize;
         }
+        self.leaf_cache.set((key, ti as u32));
         Some((ti, Self::level_index(vpn, LEVELS - 1)))
     }
 
     fn ensure_index(&mut self, vpn: u64) -> (usize, usize) {
+        let key = vpn >> 9;
+        let (ck, ct) = self.leaf_cache.get();
+        if ck == key {
+            return (ct as usize, (vpn & 0x1FF) as usize);
+        }
         let mut ti = 0usize;
         for level in 0..LEVELS - 1 {
             let idx = Self::level_index(vpn, level);
@@ -197,6 +213,7 @@ impl PageTable {
                 ti = (e >> PAYLOAD_SHIFT) as usize;
             }
         }
+        self.leaf_cache.set((key, ti as u32));
         (ti, Self::level_index(vpn, LEVELS - 1))
     }
 

@@ -18,7 +18,7 @@
 //! activates and therefore leaves the endpoint byte-for-byte identical to
 //! the pre-cluster wiring (the tab01 digests pin this).
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Ref, RefCell, RefMut};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -66,6 +66,7 @@ impl SharedPool {
             exclusive: false,
             obs: Observability::none(),
             cal: Calendar::new(),
+            seg_scratch: Vec::new(),
         }
     }
 
@@ -91,6 +92,8 @@ pub struct RdmaPort {
     exclusive: bool,
     obs: Observability,
     cal: Calendar,
+    /// Reusable buffer for tenant-base-shifted segments (vectored verbs).
+    seg_scratch: Vec<Segment>,
 }
 
 impl RdmaPort {
@@ -104,6 +107,7 @@ impl RdmaPort {
             exclusive: true,
             obs: Observability::none(),
             cal: Calendar::new(),
+            seg_scratch: Vec::new(),
         }
     }
 
@@ -130,12 +134,15 @@ impl RdmaPort {
         self.ep.borrow()
     }
 
-    fn activate(&self) {
+    /// Mutable handle on the endpoint with this port's tenant activated.
+    /// Activation happens inside the same `RefCell` borrow as the verb
+    /// that follows, so every port call costs exactly one borrow.
+    fn ep_mut(&self) -> RefMut<'_, RdmaEndpoint> {
+        let mut ep = self.ep.borrow_mut();
         if !self.exclusive {
-            self.ep
-                .borrow_mut()
-                .activate_tenant(self.tenant, &self.obs, &self.cal);
+            ep.activate_tenant(self.tenant, &self.obs, &self.cal);
         }
+        ep
     }
 
     /// Posts a one-sided read (tenant-relative `remote`).
@@ -147,10 +154,22 @@ impl RdmaPort {
         remote: u64,
         buf: &mut [u8],
     ) -> Result<Ns, RdmaError> {
-        self.activate();
-        self.ep
-            .borrow_mut()
+        self.ep_mut()
             .read(now, self.lane_base + core, class, self.base + remote, buf)
+    }
+
+    /// [`read`](Self::read), also returning the payload's non-zero bound
+    /// (see [`RdmaEndpoint::read_live`]).
+    pub fn read_live(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        remote: u64,
+        buf: &mut [u8],
+    ) -> Result<(Ns, usize), RdmaError> {
+        self.ep_mut()
+            .read_live(now, self.lane_base + core, class, self.base + remote, buf)
     }
 
     /// Posts a one-sided write (tenant-relative `remote`).
@@ -162,10 +181,29 @@ impl RdmaPort {
         remote: u64,
         buf: &[u8],
     ) -> Result<Ns, RdmaError> {
-        self.activate();
-        self.ep
-            .borrow_mut()
+        self.ep_mut()
             .write(now, self.lane_base + core, class, self.base + remote, buf)
+    }
+
+    /// [`write`](Self::write) with the caller's promise that `buf[live..]`
+    /// is all zero (see [`RdmaEndpoint::write_live`]).
+    pub fn write_live(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        remote: u64,
+        buf: &[u8],
+        live: usize,
+    ) -> Result<Ns, RdmaError> {
+        self.ep_mut().write_live(
+            now,
+            self.lane_base + core,
+            class,
+            self.base + remote,
+            buf,
+            live,
+        )
     }
 
     /// Posts a vectored read; segment addresses are tenant-relative.
@@ -177,15 +215,14 @@ impl RdmaPort {
         segments: &[Segment],
         buf: &mut [u8],
     ) -> Result<Ns, RdmaError> {
-        self.activate();
         let core = self.lane_base + core;
-        let mut ep = self.ep.borrow_mut();
         if self.base == 0 {
-            ep.read_v(now, core, class, segments, buf)
-        } else {
-            let shifted = self.shift(segments);
-            ep.read_v(now, core, class, &shifted, buf)
+            return self.ep_mut().read_v(now, core, class, segments, buf);
         }
+        let shifted = self.shift(segments);
+        let r = self.ep_mut().read_v(now, core, class, &shifted, buf);
+        self.seg_scratch = shifted;
+        r
     }
 
     /// Posts a vectored write; segment addresses are tenant-relative.
@@ -197,34 +234,32 @@ impl RdmaPort {
         segments: &[Segment],
         buf: &[u8],
     ) -> Result<Ns, RdmaError> {
-        self.activate();
         let core = self.lane_base + core;
-        let mut ep = self.ep.borrow_mut();
         if self.base == 0 {
-            ep.write_v(now, core, class, segments, buf)
-        } else {
-            let shifted = self.shift(segments);
-            ep.write_v(now, core, class, &shifted, buf)
+            return self.ep_mut().write_v(now, core, class, segments, buf);
         }
+        let shifted = self.shift(segments);
+        let r = self.ep_mut().write_v(now, core, class, &shifted, buf);
+        self.seg_scratch = shifted;
+        r
     }
 
-    fn shift(&self, segments: &[Segment]) -> Vec<Segment> {
-        segments
-            .iter()
-            .map(|s| Segment {
-                remote: self.base + s.remote,
-                ..*s
-            })
-            .collect()
+    /// Rebases segment addresses by the tenant base into the reusable
+    /// scratch buffer (returned to `seg_scratch` by the caller).
+    fn shift(&mut self, segments: &[Segment]) -> Vec<Segment> {
+        let mut shifted = std::mem::take(&mut self.seg_scratch);
+        shifted.clear();
+        shifted.extend(segments.iter().map(|s| Segment {
+            remote: self.base + s.remote,
+            ..*s
+        }));
+        shifted
     }
 
     /// Emits the deferred completion for a calendar-delivered
     /// [`SchedEvent::RdmaCompletion`](crate::sched::SchedEvent::RdmaCompletion).
     pub fn deliver_completion(&self, t: Ns, class: ServiceClass, write: bool, node: u8, core: u8) {
-        self.activate();
-        self.ep
-            .borrow_mut()
-            .deliver_completion(t, class, write, node, core);
+        self.ep_mut().deliver_completion(t, class, write, node, core);
     }
 
     /// Wire bytes attributed to this port's tenant and `class`: `(tx, rx)`.

@@ -81,12 +81,14 @@ impl ServiceClass {
 /// so it stays exactly deterministic and auditable.
 #[derive(Debug, Clone, Default)]
 struct QosShaper {
-    /// Per-tenant link weight (missing tenants default to weight 1).
-    shares: BTreeMap<u8, u32>,
+    /// Per-tenant link weight, indexed by tenant id (missing tenants
+    /// default to weight 1).
+    shares: Vec<u32>,
     /// Sum of all registered weights.
     total: u64,
-    /// Earliest next start per (tenant, inbound) direction.
-    release: BTreeMap<(u8, bool), Ns>,
+    /// Earliest next start, indexed `tenant * 2 + inbound` (grown on
+    /// demand; tenant ids are small and dense).
+    release: Vec<Ns>,
     /// True wire time consumed by shaped transfers (occupancy reports).
     shaped_busy: Ns,
 }
@@ -106,10 +108,11 @@ pub struct Fabric {
     /// Tenant whose traffic is currently on the wire (single-tenant boots
     /// never change this from 0). Set by the cluster layer around each verb.
     active_tenant: u8,
-    /// Per-(tenant, class-index) byte counts, outbound.
-    tenant_tx: BTreeMap<(u8, usize), u64>,
-    /// Per-(tenant, class-index) byte counts, inbound.
-    tenant_rx: BTreeMap<(u8, usize), u64>,
+    /// Per-(tenant, class) byte counts, outbound, indexed
+    /// `tenant * 5 + class.idx()` (grown on demand).
+    tenant_tx: Vec<u64>,
+    /// Per-(tenant, class) byte counts, inbound, same layout.
+    tenant_rx: Vec<u64>,
     /// QoS bandwidth arbitration; `None` (the default) is free-for-all.
     qos: Option<QosShaper>,
     trace: TraceSink,
@@ -128,8 +131,8 @@ impl Fabric {
             class_tx: [0; 5],
             class_rx: [0; 5],
             active_tenant: 0,
-            tenant_tx: BTreeMap::new(),
-            tenant_rx: BTreeMap::new(),
+            tenant_tx: Vec::new(),
+            tenant_rx: Vec::new(),
             qos: None,
             trace: TraceSink::disabled(),
             metrics: MetricsRegistry::disabled(),
@@ -155,10 +158,18 @@ impl Fabric {
     /// Tenants absent from the map get weight 1.
     pub fn set_qos(&mut self, shares: BTreeMap<u8, u32>) {
         let total: u64 = shares.values().map(|&w| u64::from(w.max(1))).sum();
+        let mut dense = Vec::new();
+        for (&tenant, &w) in &shares {
+            let i = tenant as usize;
+            if dense.len() <= i {
+                dense.resize(i + 1, 1);
+            }
+            dense[i] = w;
+        }
         self.qos = Some(QosShaper {
-            shares,
+            shares: dense,
             total: total.max(1),
-            release: BTreeMap::new(),
+            release: Vec::new(),
             shaped_busy: 0,
         });
     }
@@ -182,10 +193,14 @@ impl Fabric {
         // who calls after it).
         let end = match &mut self.qos {
             Some(q) => {
-                let share = u64::from(q.shares.get(&tenant).copied().unwrap_or(1).max(1));
-                let rel = q.release.entry((tenant, inbound)).or_insert(0);
-                let start = t.max(*rel);
-                *rel = start + wire * q.total / share;
+                let share =
+                    u64::from(q.shares.get(tenant as usize).copied().unwrap_or(1).max(1));
+                let ri = tenant as usize * 2 + usize::from(inbound);
+                if q.release.len() <= ri {
+                    q.release.resize(ri + 1, 0);
+                }
+                let start = t.max(q.release[ri]);
+                q.release[ri] = start + wire * q.total / share;
                 q.shaped_busy = q.shaped_busy.saturating_add(wire);
                 start + wire
             }
@@ -201,16 +216,17 @@ impl Fabric {
                 link.acquire(t, wire).1
             }
         };
+        let ti = tenant as usize * 5 + class.idx();
         if inbound {
             self.bw.record_rx(end, bytes as u64);
             self.class_rx[class.idx()] += bytes as u64;
-            *self.tenant_rx.entry((tenant, class.idx())).or_insert(0) += bytes as u64;
+            Self::bump(&mut self.tenant_rx, ti, bytes as u64);
             self.metrics
                 .add("fabric_rx_bytes", class.idx(), bytes as u64);
         } else {
             self.bw.record_tx(end, bytes as u64);
             self.class_tx[class.idx()] += bytes as u64;
-            *self.tenant_tx.entry((tenant, class.idx())).or_insert(0) += bytes as u64;
+            Self::bump(&mut self.tenant_tx, ti, bytes as u64);
             self.metrics
                 .add("fabric_tx_bytes", class.idx(), bytes as u64);
         }
@@ -241,10 +257,17 @@ impl Fabric {
         self.class_rx[class.idx()]
     }
 
+    fn bump(v: &mut Vec<u64>, i: usize, by: u64) {
+        if v.len() <= i {
+            v.resize(i + 1, 0);
+        }
+        v[i] += by;
+    }
+
     /// Outbound bytes attributed to `(tenant, class)`.
     pub fn tenant_tx(&self, tenant: u8, class: ServiceClass) -> u64 {
         self.tenant_tx
-            .get(&(tenant, class.idx()))
+            .get(tenant as usize * 5 + class.idx())
             .copied()
             .unwrap_or(0)
     }
@@ -252,7 +275,7 @@ impl Fabric {
     /// Inbound bytes attributed to `(tenant, class)`.
     pub fn tenant_rx(&self, tenant: u8, class: ServiceClass) -> u64 {
         self.tenant_rx
-            .get(&(tenant, class.idx()))
+            .get(tenant as usize * 5 + class.idx())
             .copied()
             .unwrap_or(0)
     }

@@ -170,7 +170,11 @@ impl MemoryNode {
     }
 
     /// Reads `buf.len()` bytes starting at `addr` (may span pages).
-    pub fn read(&self, key: RegionHandle, addr: u64, buf: &mut [u8]) -> Result<(), MemNodeError> {
+    ///
+    /// Returns an upper bound on the non-zero prefix of `buf` (every byte at
+    /// or past the bound is zero), so callers that cache the payload can
+    /// track its live extent without re-scanning it.
+    pub fn read(&self, key: RegionHandle, addr: u64, buf: &mut [u8]) -> Result<usize, MemNodeError> {
         self.check(key, addr, buf.len())?;
         self.trace.emit(
             self.access_time.get(),
@@ -183,15 +187,19 @@ impl MemoryNode {
         self.metrics.inc("memnode_reads", 0);
         self.metrics.add("memnode_read_bytes", 0, buf.len() as u64);
         let mut off = 0usize;
+        let mut bound = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
             let page = a / PAGE_SIZE as u64;
             let in_page = (a % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(buf.len() - off);
-            self.pages.read_into(page, in_page, &mut buf[off..off + n]);
+            let live = self.pages.read_into(page, in_page, &mut buf[off..off + n]);
+            if live > 0 {
+                bound = off + live;
+            }
             off += n;
         }
-        Ok(())
+        Ok(bound)
     }
 
     /// Writes `buf` starting at `addr` (may span pages).
@@ -202,6 +210,20 @@ impl MemoryNode {
     /// at any later instant must not lose it. The log seals into a fresh
     /// checkpoint once it reaches the configured depth.
     pub fn write(&mut self, key: RegionHandle, addr: u64, buf: &[u8]) -> Result<(), MemNodeError> {
+        self.write_live(key, addr, buf, buf.len())
+    }
+
+    /// [`write`](Self::write) with a caller promise that `buf[live..]` is all
+    /// zero. Timing, tracing, and stored bytes are identical; the hint only
+    /// bounds the store's trailing-zero scan (page write-backs of
+    /// mostly-zero frames skip re-reading cold zeros).
+    pub fn write_live(
+        &mut self,
+        key: RegionHandle,
+        addr: u64,
+        buf: &[u8],
+        live: usize,
+    ) -> Result<(), MemNodeError> {
         self.check(key, addr, buf.len())?;
         let t = self.access_time.get();
         if let Some(d) = self.durable.as_mut() {
@@ -224,7 +246,7 @@ impl MemoryNode {
         );
         self.metrics.inc("memnode_writes", 0);
         self.metrics.add("memnode_write_bytes", 0, buf.len() as u64);
-        self.copy_in(addr, buf);
+        self.copy_in(addr, buf, live);
         if self.durable.as_ref().is_some_and(|d| d.should_checkpoint()) {
             self.checkpoint_now(t);
         }
@@ -232,14 +254,17 @@ impl MemoryNode {
     }
 
     /// The page-copy loop shared by the data-path write and intent replay.
-    fn copy_in(&mut self, addr: u64, buf: &[u8]) {
+    /// `live` bounds the non-zero prefix of `buf` (`buf.len()` if unknown).
+    fn copy_in(&mut self, addr: u64, buf: &[u8], live: usize) {
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
             let page = a / PAGE_SIZE as u64;
             let in_page = (a % PAGE_SIZE as u64) as usize;
             let n = (PAGE_SIZE - in_page).min(buf.len() - off);
-            self.pages.write_at(page, in_page, &buf[off..off + n]);
+            let chunk_live = live.saturating_sub(off).min(n);
+            self.pages
+                .write_at(page, in_page, &buf[off..off + n], chunk_live);
             off += n;
         }
     }
@@ -376,7 +401,7 @@ impl MemoryNode {
                     seq: rec.seq,
                 },
             );
-            self.copy_in(rec.addr, &rec.data);
+            self.copy_in(rec.addr, &rec.data, rec.data.len());
         }
         d.log = log;
         self.durable = Some(d);

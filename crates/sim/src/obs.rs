@@ -61,6 +61,18 @@ impl Observability {
         }
     }
 
+    /// Event tracing with an event ring of at least `events` entries
+    /// (rounded up to a power of two). The default ring is deliberately
+    /// small — big enough for digests, small enough to stay cache-resident —
+    /// so consumers that replay [`TraceSink::events`] over a long run (tests,
+    /// trace exporters) must size the ring to the run.
+    pub fn tracing_with_ring(events: usize) -> Self {
+        Self {
+            trace: TraceSink::with_capacity(events.next_power_of_two()),
+            ..Self::none()
+        }
+    }
+
     /// Tracing plus an online auditor attached at boot.
     pub fn audited() -> Self {
         Self {

@@ -133,9 +133,13 @@ pub struct RdmaEndpoint {
     ec: Option<EcState>,
     /// Degraded reads served by erasure-decode.
     reconstructions: u64,
-    // Ordered so that no future drain/enumeration over queue pairs can
-    // leak hash order into verb completion times.
-    qps: BTreeMap<(usize, usize, usize), Timeline>,
+    /// Queue-pair timelines in a dense core-major layout:
+    /// `(core * nodes + node) * 5 + class`. Growing the core dimension
+    /// appends whole blocks, so existing indices never move, and iteration
+    /// order is structural — no hash order can leak into completion times.
+    qps: Vec<Timeline>,
+    /// Cores the `qps` table currently covers.
+    qp_cores: usize,
     ops: [OpCounts; 5],
     /// Ablation: collapse all per-core, per-module queues into one QP.
     shared_queue: bool,
@@ -160,11 +164,15 @@ pub struct RdmaEndpoint {
     /// completion free of the event-counting branch's bookkeeping.
     recover: Option<RecoverState>,
     /// Causal request ids of calendar-deferred completions, FIFO per queue
-    /// pair key `(class, write, node, core)`. `SchedEvent::RdmaCompletion`
-    /// carries no id (the calendar is not part of the digest contract but
-    /// its events are shared with baselines), so the id rides here: pushed
-    /// at issue time, popped at delivery. Side-band only — never digested.
-    pending_req: BTreeMap<(u8, bool, u8, u8), std::collections::VecDeque<Option<ReqId>>>,
+    /// pair. `SchedEvent::RdmaCompletion` carries no id (the calendar is
+    /// not part of the digest contract but its events are shared with
+    /// baselines), so the id rides here: pushed at issue time, popped at
+    /// delivery. Side-band only — never digested. Dense core-major layout
+    /// like `qps`, with a write/read split per class:
+    /// `((core * nodes + node) * 5 + class) * 2 + write`.
+    pending_req: Vec<std::collections::VecDeque<Option<ReqId>>>,
+    /// Cores the `pending_req` table currently covers.
+    pending_cores: usize,
 }
 
 impl RdmaEndpoint {
@@ -226,7 +234,8 @@ impl RdmaEndpoint {
             replication: 1,
             ec: None,
             reconstructions: 0,
-            qps: BTreeMap::new(),
+            qps: Vec::new(),
+            qp_cores: 0,
             ops: [OpCounts::default(); 5],
             shared_queue: false,
             tcp_mode: false,
@@ -237,7 +246,8 @@ impl RdmaEndpoint {
             tenants: BTreeMap::new(),
             active: None,
             recover: None,
-            pending_req: BTreeMap::new(),
+            pending_req: Vec::new(),
+            pending_cores: 0,
         }
     }
 
@@ -318,7 +328,7 @@ impl RdmaEndpoint {
     /// Queue pairs whose timeline is still occupied at `now` — the per-QP
     /// depth gauge the sampler snapshots.
     pub fn busy_qps(&self, now: Ns) -> usize {
-        self.qps.values().filter(|q| q.busy_until() > now).count()
+        self.qps.iter().filter(|q| q.busy_until() > now).count()
     }
 
     /// The primary shard index for `remote` (event labelling).
@@ -388,10 +398,8 @@ impl RdmaEndpoint {
             );
             // Remember which request issued this verb so the deferred
             // `RdmaComplete` re-attributes to it at delivery time.
-            self.pending_req
-                .entry((class.idx() as u8, write, node, core as u8))
-                .or_default()
-                .push_back(self.trace.current_request());
+            let idx = self.pending_idx(node as usize, core, class, write);
+            self.pending_req[idx].push_back(self.trace.current_request());
             return;
         }
         self.trace.emit(
@@ -417,11 +425,8 @@ impl RdmaEndpoint {
         node: u8,
         core: u8,
     ) {
-        let req = self
-            .pending_req
-            .get_mut(&(class.idx() as u8, write, node, core))
-            .and_then(|q| q.pop_front())
-            .flatten();
+        let idx = self.pending_idx(node as usize, core as usize, class, write);
+        let req = self.pending_req[idx].pop_front().flatten();
         let prev_req = self.trace.set_request(req);
         self.trace.emit(
             t,
@@ -768,9 +773,11 @@ impl RdmaEndpoint {
     /// Picks the serving node for a read: the first live replica. Charges
     /// the retry-timeout penalty the first time a death is observed.
     fn pick_read_node(&mut self, remote: u64) -> Result<(usize, Ns), RdmaError> {
-        let candidates: Vec<usize> = self.replicas(remote).collect();
+        let n = self.nodes.len();
+        let shard = ((remote >> 12) as usize) % n;
         let mut penalty = 0;
-        for (rank, ni) in candidates.into_iter().enumerate() {
+        for rank in 0..self.replication {
+            let ni = (shard + rank) % n;
             if self.nodes[ni].alive {
                 if rank > 0 {
                     self.failovers += 1;
@@ -848,12 +855,30 @@ impl RdmaEndpoint {
     }
 
     fn qp(&mut self, node: usize, core: usize, class: ServiceClass) -> &mut Timeline {
-        let key = if self.shared_queue {
-            (node, 0, 0)
+        let (core, cls) = if self.shared_queue {
+            (0, 0)
         } else {
-            (node, core, class.idx())
+            (core, class.idx())
         };
-        self.qps.entry(key).or_default()
+        if core >= self.qp_cores {
+            self.qp_cores = core + 1;
+            self.qps
+                .resize_with(self.qp_cores * self.nodes.len() * 5, Timeline::default);
+        }
+        &mut self.qps[(core * self.nodes.len() + node) * 5 + cls]
+    }
+
+    /// Index into `pending_req`, growing the table's core dimension on
+    /// first use (append-only, so existing indices never move).
+    fn pending_idx(&mut self, node: usize, core: usize, class: ServiceClass, write: bool) -> usize {
+        if core >= self.pending_cores {
+            self.pending_cores = core + 1;
+            self.pending_req.resize_with(
+                self.pending_cores * self.nodes.len() * 5 * 2,
+                std::collections::VecDeque::new,
+            );
+        }
+        ((core * self.nodes.len() + node) * 5 + class.idx()) * 2 + usize::from(write)
     }
 
     /// Models one verb's timing: QP FIFO + shared wire + fixed latency.
@@ -873,15 +898,11 @@ impl RdmaEndpoint {
         segments: usize,
         is_read: bool,
     ) -> Ns {
-        let cfg = self.nodes[node].fabric.cfg().clone();
+        // Fold the config into scalars up front so the mutable QP/fabric
+        // borrows below don't force a per-verb SimConfig clone.
+        let cfg = self.nodes[node].fabric.cfg();
         let wire = cfg.wire_ns(bytes);
         let doorbell = cfg.qp_doorbell_ns;
-        let (_, qp_end) = self
-            .qp(node, core, class)
-            .acquire(now, doorbell.saturating_add(wire));
-        let wire_end = self.nodes[node]
-            .fabric
-            .transfer(qp_end - wire, class, bytes, is_read);
         let total = if is_read {
             cfg.rdma_read_ns(bytes)
         } else {
@@ -892,11 +913,17 @@ impl RdmaEndpoint {
         if self.nodes[node].node.huge_pages() {
             rest = rest.saturating_sub(cfg.memnode_hugepage_saving_ns);
         }
-        let mut done = qp_end.max(wire_end).saturating_add(rest);
-        if self.tcp_mode {
-            done = done.saturating_add(cfg.tcp_extra_ns());
-        }
-        done
+        let tcp_extra = if self.tcp_mode { cfg.tcp_extra_ns() } else { 0 };
+        let (_, qp_end) = self
+            .qp(node, core, class)
+            .acquire(now, doorbell.saturating_add(wire));
+        let wire_end = self.nodes[node]
+            .fabric
+            .transfer(qp_end - wire, class, bytes, is_read);
+        qp_end
+            .max(wire_end)
+            .saturating_add(rest)
+            .saturating_add(tcp_extra)
     }
 
     /// Posts a one-sided read of `buf.len()` bytes from `remote`.
@@ -911,6 +938,21 @@ impl RdmaEndpoint {
         remote: u64,
         buf: &mut [u8],
     ) -> Result<Ns, RdmaError> {
+        self.read_live(now, core, class, remote, buf).map(|(t, _)| t)
+    }
+
+    /// [`read`](Self::read), additionally returning an upper bound on the
+    /// non-zero prefix of `buf` (bytes at or past it are zero). Callers that
+    /// cache the payload — the compute node filling a frame — use the bound
+    /// to track the frame's live extent without scanning it.
+    pub fn read_live(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        remote: u64,
+        buf: &mut [u8],
+    ) -> Result<(Ns, usize), RdmaError> {
         self.ops[class.idx()].reads += 1;
         self.metrics.inc("rdma_reads", core);
         let shard = self.shard_of(remote);
@@ -919,7 +961,7 @@ impl RdmaEndpoint {
             let done = self.ec_read(now, core, class, remote, buf)?;
             self.trace_complete(core, class, false, shard, done);
             self.maybe_crash(done);
-            return Ok(done);
+            return Ok((done, buf.len()));
         }
         let (ni, penalty) = self.pick_read_node(remote)?;
         let done = self.verb_timing(
@@ -931,10 +973,10 @@ impl RdmaEndpoint {
             1,
             true,
         );
-        self.nodes[ni].node.read(self.region_of(ni), remote, buf)?;
+        let live = self.nodes[ni].node.read(self.region_of(ni), remote, buf)?;
         self.trace_complete(core, class, false, ni as u8, done);
         self.maybe_crash(done);
-        Ok(done)
+        Ok((done, live))
     }
 
     /// Posts a one-sided write of `buf` to `remote`.
@@ -945,6 +987,22 @@ impl RdmaEndpoint {
         class: ServiceClass,
         remote: u64,
         buf: &[u8],
+    ) -> Result<Ns, RdmaError> {
+        self.write_live(now, core, class, remote, buf, buf.len())
+    }
+
+    /// [`write`](Self::write) with a caller promise that `buf[live..]` is
+    /// all zero. Wire traffic, timing, and tracing are byte-identical — the
+    /// hint only spares the memory node's store a trailing-zero scan over
+    /// the cold tail of a mostly-zero page.
+    pub fn write_live(
+        &mut self,
+        now: Ns,
+        core: usize,
+        class: ServiceClass,
+        remote: u64,
+        buf: &[u8],
+        live: usize,
     ) -> Result<Ns, RdmaError> {
         self.ops[class.idx()].writes += 1;
         self.metrics.inc("rdma_writes", core);
@@ -959,15 +1017,17 @@ impl RdmaEndpoint {
         // Synchronous replication: every live replica is written; the
         // completion is the slowest (the writes ride distinct links, so
         // with symmetric nodes the cost is one write plus doorbells).
-        let replicas: Vec<usize> = self.replicas(remote).collect();
+        let n = self.nodes.len();
+        let shard_base = ((remote >> 12) as usize) % n;
         let mut done = None;
-        for ni in replicas {
+        for rank in 0..self.replication {
+            let ni = (shard_base + rank) % n;
             if !self.nodes[ni].alive {
                 continue;
             }
             let d = self.verb_timing(ni, now, core, class, buf.len(), 1, false);
             let region = self.region_of(ni);
-            self.nodes[ni].node.write(region, remote, buf)?;
+            self.nodes[ni].node.write_live(region, remote, buf, live)?;
             done = Some(done.map_or(d, |x: Ns| x.max(d)));
         }
         let done = done.ok_or(RdmaError::AllReplicasDown)?;
@@ -1243,9 +1303,11 @@ impl RdmaEndpoint {
             self.maybe_crash(done);
             return Ok(done);
         }
-        let replicas: Vec<usize> = self.replicas(segments[0].remote).collect();
+        let n = self.nodes.len();
+        let shard_base = ((segments[0].remote >> 12) as usize) % n;
         let mut done = None;
-        for ni in replicas {
+        for rank in 0..self.replication {
+            let ni = (shard_base + rank) % n;
             if !self.nodes[ni].alive {
                 continue;
             }

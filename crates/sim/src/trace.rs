@@ -362,7 +362,10 @@ pub trait TraceObserver {
     }
 }
 
-const DEFAULT_RING_CAP: usize = 1 << 18;
+/// Small enough (4 Ki events ≈ 160 KiB) that the ring stays cache-resident
+/// on the emit path; the digest and count still cover every event ever
+/// emitted, the ring only bounds how much history `events()` can replay.
+const DEFAULT_RING_CAP: usize = 1 << 12;
 
 struct TraceCore {
     /// Ring of the most recent events (oldest at `head` once wrapped).
@@ -469,7 +472,7 @@ impl TraceSink {
         Self { inner: None }
     }
 
-    /// A recording sink with the default ring capacity (256 Ki events).
+    /// A recording sink with the default ring capacity (4 Ki events).
     pub fn recording() -> Self {
         Self::with_capacity(DEFAULT_RING_CAP)
     }

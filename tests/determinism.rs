@@ -85,8 +85,10 @@ fn different_seeds_produce_different_traces() {
 fn reclaim_episodes_evict_at_distinct_virtual_times() {
     use dilos::sim::TraceEvent;
 
+    // This test replays the event ring, so it must hold the whole run —
+    // the default ring is sized for digests (cache-resident), not replay.
     let spec = SystemSpec::for_working_set(SystemKind::DilosReadahead, WS_PAGES * 4096, 13)
-        .observed(Observability::tracing());
+        .observed(Observability::tracing_with_ring(1 << 18));
     let mut mem = spec.boot();
     drive(mem.as_mut(), 0xEC);
     // trace_digest() quiesces the event calendar, so every in-flight
