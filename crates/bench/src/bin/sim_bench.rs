@@ -7,8 +7,15 @@
 //! the rest of the file is byte-stable, so CI compares two fresh runs with
 //! `grep -v '"wall_clock"' | cmp`. Host timing is fine here — this is the
 //! bench crate, outside rule R1's scope.
+//!
+//! `BENCH_sim.json` is a *trajectory*, not a snapshot: the `wall_clock`
+//! object carries a `history` array with one entry per revision (events/s
+//! and faults/s keyed by `git` short rev). A rerun at the same rev replaces
+//! its own entry — so CI's double run stays idempotent — while a new rev
+//! appends, and the delta vs the previous entry is printed for the job
+//! summary (lines prefixed `sim_bench: delta`).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -39,6 +46,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let root = workspace_root();
+    let out = root.join("BENCH_sim.json");
+    let rev = git_short_rev(&root);
+
     // Rates come from the warm run (allocator and caches settled).
     let mut wall = String::from("  \"wall_clock\": {");
     for (i, c) in warm.iter().enumerate() {
@@ -57,14 +68,57 @@ fn main() -> ExitCode {
             ),
         );
     }
-    wall.push('}');
+
+    // Trajectory: prior entries for other revs survive; this rev's entry is
+    // replaced in place, so a double run (CI's determinism gate) does not
+    // grow the file.
+    let mut history: Vec<String> = read_history(&out)
+        .into_iter()
+        .filter(|e| entry_rev(e) != rev)
+        .collect();
+    let mut entry = format!("{{\"rev\": \"{rev}\"");
+    for (i, c) in warm.iter().enumerate() {
+        let warm_s = (warm_ms[i] / 1e3).max(1e-9);
+        let _ = std::fmt::Write::write_fmt(
+            &mut entry,
+            format_args!(
+                ", \"{id}_events_per_sec\": {:.0}, \"{id}_faults_per_sec\": {:.0}",
+                c.events as f64 / warm_s,
+                c.faults as f64 / warm_s,
+                id = c.id,
+            ),
+        );
+    }
+    entry.push('}');
+
+    // Delta vs the previous PR's entry, for the CI job summary.
+    if let Some(prev) = history.last() {
+        let prev_rev = entry_rev(prev);
+        for c in &warm {
+            let key = format!("{}_events_per_sec", c.id);
+            if let (Some(new), Some(old)) = (entry_num(&entry, &key), entry_num(prev, &key)) {
+                let pct = if old > 0.0 { (new / old - 1.0) * 100.0 } else { 0.0 };
+                eprintln!(
+                    "sim_bench: delta {} events/sec {:+.1}% ({:.0} vs {:.0} @ {prev_rev})",
+                    c.id, pct, new, old,
+                );
+            }
+        }
+    } else {
+        eprintln!("sim_bench: delta — no prior history entry (trajectory starts at {rev})");
+    }
+    history.push(entry);
+
+    let _ = std::fmt::Write::write_fmt(
+        &mut wall,
+        format_args!(", \"history\": [{}]}}", history.join(", ")),
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"dilos-sim event loop (tab01 + serve)\",\n{},\n  \
          \"runs_identical\": true,\n{wall}\n}}\n",
         census_json(&warm),
     );
-    let out = workspace_root().join("BENCH_sim.json");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("sim_bench: writing {}: {e}", out.display());
         return ExitCode::from(2);
@@ -83,6 +137,78 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// The repo's short HEAD rev, or `"worktree"` when git is unavailable (the
+/// trajectory still works — the single entry just keeps replacing itself).
+fn git_short_rev(root: &Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "worktree".to_string())
+}
+
+/// Pulls the `"history": [...]` entries (flat objects, our own format) out
+/// of an existing `BENCH_sim.json`. Anything unparseable yields an empty
+/// history — the trajectory restarts rather than the bench failing.
+fn read_history(path: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let body = &text[start + "\"history\": [".len()..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    for ch in body[..end].chars() {
+        match ch {
+            '{' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+                if depth == 0 {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ if depth > 0 => cur.push(ch),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The `"rev"` value of a history entry (empty string when malformed).
+fn entry_rev(entry: &str) -> String {
+    entry
+        .split("\"rev\": \"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// A numeric field of a history entry.
+fn entry_num(entry: &str, key: &str) -> Option<f64> {
+    let tail = entry.split(&format!("\"{key}\": ")).nth(1)?;
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` declaring
